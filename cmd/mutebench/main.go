@@ -1,0 +1,178 @@
+// Command mutebench regenerates the tables and figures of the MUTE paper's
+// evaluation (Section 5) on the simulator and prints them as ASCII tables
+// or CSV.
+//
+// Usage:
+//
+//	mutebench -fig fig12            # one experiment
+//	mutebench -fig all              # every experiment, paper order
+//	mutebench -fig fig14 -csv       # machine-readable output
+//	mutebench -fig fig12 -json      # structured output for plotting tools
+//	mutebench -fig fig12 -fm        # route audio through the full FM chain
+//	mutebench -list                 # available experiment ids
+//
+// Experiment ids: fig12 fig13 fig14 fig15 fig16 fig17 fig18 fig19,
+// lookahead, ablation-taps, ablation-fmsnr, ablation-nlms, and the
+// beyond-the-paper extensions variants, mobility, contention, tracker,
+// multisource.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mute/internal/experiments"
+)
+
+func main() {
+	var (
+		figID    = flag.String("fig", "fig12", "experiment id or 'all'")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+		csv      = flag.Bool("csv", false, "emit CSV instead of tables")
+		jsonOut  = flag.Bool("json", false, "emit JSON instead of tables")
+		duration = flag.Float64("duration", 0, "seconds of simulated audio per run (0 = default)")
+		seed     = flag.Uint64("seed", 0, "simulation seed (0 = default)")
+		useFM    = flag.Bool("fm", false, "route reference audio through the full FM chain")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("fig12 fig13 fig14 fig15 fig16 fig17 fig18 fig19 lookahead ablation-taps ablation-fmsnr ablation-nlms variants mobility contention tracker multisource all")
+		return
+	}
+	cfg := experiments.Config{
+		Duration:  *duration,
+		Seed:      *seed,
+		UseFMLink: *useFM,
+	}
+	var figs []*experiments.Figure
+	if *figID == "all" {
+		all, err := experiments.All(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		figs = all
+	} else {
+		fn, ok := experiments.ByID(*figID)
+		if !ok {
+			fatal(fmt.Errorf("unknown experiment %q (try -list)", *figID))
+		}
+		fig, err := fn(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		figs = []*experiments.Figure{fig}
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(figs); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	for _, fig := range figs {
+		if *csv {
+			renderCSV(fig)
+		} else {
+			renderTable(fig)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mutebench:", err)
+	os.Exit(1)
+}
+
+// sharedX reports whether every series has the same X axis.
+func sharedX(fig *experiments.Figure) bool {
+	if len(fig.Series) < 2 {
+		return true
+	}
+	first := fig.Series[0].X
+	for _, s := range fig.Series[1:] {
+		if len(s.X) != len(first) {
+			return false
+		}
+		for i := range first {
+			if s.X[i] != first[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func renderTable(fig *experiments.Figure) {
+	fmt.Printf("\n=== %s: %s ===\n", fig.ID, fig.Title)
+	if sharedX(fig) && len(fig.Series) > 0 {
+		// Joint table: X column plus one column per series.
+		fmt.Printf("%12s", fig.XLabel)
+		for _, s := range fig.Series {
+			fmt.Printf("  %20s", truncate(s.Name, 20))
+		}
+		fmt.Println()
+		for i := range fig.Series[0].X {
+			fmt.Printf("%12.1f", fig.Series[0].X[i])
+			for _, s := range fig.Series {
+				fmt.Printf("  %20.2f", s.Y[i])
+			}
+			fmt.Println()
+		}
+	} else {
+		for _, s := range fig.Series {
+			fmt.Printf("-- %s --\n", s.Name)
+			fmt.Printf("%12s  %12s\n", fig.XLabel, fig.YLabel)
+			for i := range s.X {
+				fmt.Printf("%12.2f  %12.3f\n", s.X[i], s.Y[i])
+			}
+		}
+	}
+	for _, n := range fig.Notes {
+		fmt.Println("note:", n)
+	}
+}
+
+func renderCSV(fig *experiments.Figure) {
+	if sharedX(fig) && len(fig.Series) > 0 {
+		cols := []string{csvEscape(fig.XLabel)}
+		for _, s := range fig.Series {
+			cols = append(cols, csvEscape(s.Name))
+		}
+		fmt.Printf("# %s\n", fig.ID)
+		fmt.Println(strings.Join(cols, ","))
+		for i := range fig.Series[0].X {
+			row := []string{fmt.Sprintf("%g", fig.Series[0].X[i])}
+			for _, s := range fig.Series {
+				row = append(row, fmt.Sprintf("%g", s.Y[i]))
+			}
+			fmt.Println(strings.Join(row, ","))
+		}
+		return
+	}
+	fmt.Printf("# %s\n", fig.ID)
+	fmt.Println("series,x,y")
+	for _, s := range fig.Series {
+		for i := range s.X {
+			fmt.Printf("%s,%g,%g\n", csvEscape(s.Name), s.X[i], s.Y[i])
+		}
+	}
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}

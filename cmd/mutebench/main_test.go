@@ -1,0 +1,76 @@
+package main
+
+import (
+	"testing"
+
+	"mute/internal/experiments"
+)
+
+func TestSharedX(t *testing.T) {
+	same := &experiments.Figure{Series: []experiments.Series{
+		{X: []float64{1, 2}}, {X: []float64{1, 2}},
+	}}
+	if !sharedX(same) {
+		t.Error("identical axes should be shared")
+	}
+	diff := &experiments.Figure{Series: []experiments.Series{
+		{X: []float64{1, 2}}, {X: []float64{1, 3}},
+	}}
+	if sharedX(diff) {
+		t.Error("different axes should not be shared")
+	}
+	ragged := &experiments.Figure{Series: []experiments.Series{
+		{X: []float64{1, 2}}, {X: []float64{1}},
+	}}
+	if sharedX(ragged) {
+		t.Error("ragged axes should not be shared")
+	}
+	single := &experiments.Figure{Series: []experiments.Series{{X: []float64{1}}}}
+	if !sharedX(single) {
+		t.Error("single series is trivially shared")
+	}
+}
+
+func TestCSVEscape(t *testing.T) {
+	cases := map[string]string{
+		"plain":      "plain",
+		"with,comma": `"with,comma"`,
+		`with"quote`: `"with""quote"`,
+		"with\nnl":   "\"with\nnl\"",
+	}
+	for in, want := range cases {
+		if got := csvEscape(in); got != want {
+			t.Errorf("csvEscape(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	if got := truncate("short", 10); got != "short" {
+		t.Errorf("truncate short = %q", got)
+	}
+	if got := truncate("a-very-long-name", 8); len(got) > 10 { // rune may be multi-byte
+		t.Errorf("truncate long = %q", got)
+	}
+}
+
+func TestRenderersDoNotPanic(t *testing.T) {
+	fig := &experiments.Figure{
+		ID: "t", Title: "test", XLabel: "x", YLabel: "y",
+		Series: []experiments.Series{
+			{Name: "a", X: []float64{1, 2}, Y: []float64{3, 4}},
+			{Name: "b", X: []float64{1, 2}, Y: []float64{5, 6}},
+		},
+		Notes: []string{"note"},
+	}
+	renderTable(fig)
+	renderCSV(fig)
+	mixed := &experiments.Figure{
+		ID: "m", Series: []experiments.Series{
+			{Name: "a", X: []float64{1}, Y: []float64{2}},
+			{Name: "b", X: []float64{1, 2}, Y: []float64{3, 4}},
+		},
+	}
+	renderTable(mixed)
+	renderCSV(mixed)
+}

@@ -1,0 +1,116 @@
+// Command muteear is the ear-device half of the live MUTE demo: it
+// receives the relay's timestamped audio frames over UDP, reconstructs the
+// reference stream through a jitter buffer, and runs LANC against a locally
+// simulated acoustic leg — the received stream delayed by the configured
+// acoustic lookahead and shaped by a multipath channel stands in for the
+// sound wavefront that would reach the ear later than the radio did.
+//
+// Usage:
+//
+//	muteear -listen 127.0.0.1:9950 -duration 12 -lookahead-ms 8
+//	muterelay -dest 127.0.0.1:9950 -sound speech -duration 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"mute/internal/dsp"
+	"mute/pkg/mute"
+)
+
+func main() {
+	var (
+		listen      = flag.String("listen", "127.0.0.1:9950", "UDP listen address")
+		duration    = flag.Float64("duration", 12, "seconds to run before reporting")
+		lookaheadMs = flag.Float64("lookahead-ms", 8, "simulated acoustic lookahead")
+		frame       = flag.Int("frame", 80, "samples per processing block")
+	)
+	flag.Parse()
+
+	const fs = 8000.0
+	rx, err := mute.NewReceiver(*listen, 256)
+	if err != nil {
+		fatal(err)
+	}
+	defer rx.Close()
+	fmt.Printf("muteear: listening on %s\n", rx.Addr())
+
+	lookahead := int(*lookaheadMs / 1000 * fs)
+	if lookahead < 5 {
+		lookahead = 5
+	}
+	// Simulated acoustic leg: the same waveform the radio forwarded,
+	// arriving `lookahead` samples later through a small multipath channel.
+	acousticDelay, err := dsp.NewDelayLine(lookahead)
+	if err != nil {
+		fatal(err)
+	}
+	earChannel := dsp.NewStreamConvolver([]float64{0.8, 0.25, 0.1, 0.05})
+	secPath := []float64{0.85, 0.22, 0.06}
+	secChannel := dsp.NewStreamConvolver(secPath)
+
+	budget, err := mute.PlanBudget(lookahead, mute.PipelineDelays{ADC: 1, DSP: 1, DAC: 1, Speaker: 1})
+	if err != nil {
+		fatal(err)
+	}
+	lanc, err := mute.NewCanceller(mute.CancellerConfig{
+		NonCausalTaps: budget.UsableTaps,
+		CausalTaps:    64,
+		Mu:            0.1,
+		Normalized:    true,
+		SecondaryPath: secPath,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	deadline := time.Now().Add(time.Duration(*duration * float64(time.Second)))
+	block := make([]float64, *frame)
+	var noisePow, resPow float64
+	var samples int
+	e := 0.0
+	for time.Now().Before(deadline) {
+		// Drain pending datagrams, then process one block.
+		for {
+			got, err := rx.Poll(time.Millisecond)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "muteear: drop:", err)
+			}
+			if !got {
+				break
+			}
+		}
+		rx.Pop(block)
+		for _, x := range block {
+			lanc.Adapt(e)
+			lanc.Push(x)
+			a := lanc.AntiNoise()
+			// The acoustic wavefront for this instant left the source
+			// `lookahead` samples ago; reconstruct it from the delayed
+			// reference and cancel it.
+			d := earChannel.Process(acousticDelay.Process(x))
+			e = d + secChannel.Process(a)
+			noisePow += d * d
+			resPow += e * e
+			samples++
+		}
+		time.Sleep(time.Duration(float64(*frame) / fs * float64(time.Second)))
+	}
+	st := rx.Stats()
+	fmt.Printf("muteear: %d samples, %d frames received, %d samples concealed, %d frames FEC-recovered\n",
+		samples, st.FramesReceived, st.SamplesConcealed, rx.Recovered())
+	if noisePow > 0 && resPow > 0 {
+		fmt.Printf("muteear: cancellation %.1f dB (lookahead %d samples, N=%d non-causal taps)\n",
+			dsp.DB(resPow/noisePow), lookahead, budget.UsableTaps)
+	} else {
+		fmt.Println("muteear: no audio received")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "muteear:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,144 @@
+// Command mutesim runs one end-to-end MUTE scenario and prints a
+// cancellation report, optionally writing the open-ear and cancelled
+// recordings as WAV files for listening.
+//
+// Usage:
+//
+//	mutesim -scheme mute-hollow -sound white -duration 8
+//	mutesim -scheme mute-passive -sound music -wav out/   # writes WAVs
+//	mutesim -scheme bose-overall -sound speech -fm        # full FM chain
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"mute/internal/scenario"
+	"mute/pkg/mute"
+)
+
+func main() {
+	var (
+		scheme    = flag.String("scheme", "mute-hollow", "mute-hollow | mute-passive | bose-active | bose-overall | passive-only")
+		sound     = flag.String("sound", "white", "white | speech | female | music | construction | hum | babble")
+		input     = flag.String("input", "", "WAV file to use as the noise source (overrides -sound; resampled to 8 kHz)")
+		sceneFile = flag.String("scene", "", "JSON scene description (overrides -sound/-input and the default room)")
+		duration  = flag.Float64("duration", 8, "seconds of simulated audio")
+		seed      = flag.Uint64("seed", 1, "simulation seed")
+		useFM     = flag.Bool("fm", false, "route reference audio through the full FM chain")
+		wavDir    = flag.String("wav", "", "directory to write open.wav / canceled.wav (empty = skip)")
+	)
+	flag.Parse()
+
+	schemes := map[string]mute.Scheme{
+		"mute-hollow":  mute.MUTEHollow,
+		"mute-passive": mute.MUTEPassive,
+		"bose-active":  mute.BoseActive,
+		"bose-overall": mute.BoseOverall,
+		"passive-only": mute.PassiveOnly,
+	}
+	sch, ok := schemes[*scheme]
+	if !ok {
+		fatal(fmt.Errorf("unknown scheme %q", *scheme))
+	}
+	const fs = 8000.0
+	if *sceneFile != "" {
+		spec, err := scenario.LoadFile(*sceneFile)
+		if err != nil {
+			fatal(err)
+		}
+		scene, err := spec.Build()
+		if err != nil {
+			fatal(err)
+		}
+		runScene(scene, sch, *duration, *seed, *useFM, *wavDir)
+		return
+	}
+	var gen mute.Generator
+	if *input != "" {
+		data, rate, err := mute.LoadWAV(*input)
+		if err != nil {
+			fatal(err)
+		}
+		gen, err = mute.FromSamples(data, float64(rate), fs, true)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		gen = pickSound(*sound, *seed, fs)
+		if gen == nil {
+			fatal(fmt.Errorf("unknown sound %q", *sound))
+		}
+	}
+	runScene(mute.DefaultScene(gen), sch, *duration, *seed, *useFM, *wavDir)
+}
+
+// runScene simulates the scheme on a scene and prints the report.
+func runScene(scene mute.Scene, sch mute.Scheme, duration float64, seed uint64, useFM bool, wavDir string) {
+	p := mute.DefaultParams(scene)
+	p.Duration = duration
+	p.Seed = seed
+	p.UseFMLink = useFM
+	r, err := mute.Run(p, sch)
+	if err != nil {
+		fatal(err)
+	}
+	rep, err := mute.Summarize(r)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(rep)
+	freqs, dB, err := mute.Spectrum(r)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("cancellation spectrum (Hz → dB):")
+	step := len(freqs) / 16
+	if step == 0 {
+		step = 1
+	}
+	for i := step; i < len(freqs); i += step {
+		fmt.Printf("  %7.0f  %7.2f\n", freqs[i], dB[i])
+	}
+	if wavDir != "" {
+		if err := os.MkdirAll(wavDir, 0o755); err != nil {
+			fatal(err)
+		}
+		rate := int(scene.SampleRate)
+		if err := mute.SaveWAV(filepath.Join(wavDir, "open.wav"), r.Open, rate); err != nil {
+			fatal(err)
+		}
+		if err := mute.SaveWAV(filepath.Join(wavDir, "canceled.wav"), r.On, rate); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s/open.wav and %s/canceled.wav\n", wavDir, wavDir)
+	}
+}
+
+func pickSound(name string, seed uint64, fs float64) mute.Generator {
+	switch name {
+	case "white":
+		return mute.WhiteNoise(seed, fs, 0.5)
+	case "speech":
+		return mute.MaleSpeech(seed, fs, 0.8)
+	case "female":
+		return mute.FemaleSpeech(seed, fs, 0.8)
+	case "music":
+		return mute.Music(seed, fs, 0.5)
+	case "construction":
+		return mute.Construction(seed, fs, 0.5)
+	case "hum":
+		return mute.MachineHum(seed, 120, fs, 0.5)
+	case "babble":
+		return mute.Babble(seed, 3, fs, 0.8)
+	default:
+		return nil
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mutesim:", err)
+	os.Exit(1)
+}

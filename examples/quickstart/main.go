@@ -1,0 +1,35 @@
+// Quickstart: simulate the Figure 1 office — a noise source near the door,
+// the IoT relay on the wall beside it, the open-ear MUTE device across the
+// room — and print how much quieter the ear gets.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mute/pkg/mute"
+)
+
+func main() {
+	const fs = 8000.0
+
+	// Wide-band white noise: the most unpredictable sound, and the one
+	// conventional headphones handle worst.
+	noise := mute.WhiteNoise(1, fs, 0.5)
+
+	scene := mute.DefaultScene(noise)
+	params := mute.DefaultParams(scene)
+	params.Duration = 8
+
+	result, err := mute.Run(params, mute.MUTEHollow)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report, err := mute.Summarize(result)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(report)
+	fmt.Printf("the relay's placement gives %.1f ms of lookahead, of which %d samples became non-causal filter taps\n",
+		report.LookaheadMs, report.NonCausalTaps)
+}

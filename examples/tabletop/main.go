@@ -1,0 +1,51 @@
+// Tabletop: the Figure 10(a) architectural variant. The user carries a
+// personal tabletop relay that hosts the reference microphone AND the DSP;
+// the ear device becomes a thin client that plays the received anti-noise
+// and returns its error-microphone signal. The control loop (anti-noise
+// downlink + error uplink) costs latency, which the lookahead budget must
+// absorb — this example sweeps that cost.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mute/pkg/mute"
+)
+
+func main() {
+	const fs = 8000.0
+	fmt.Println("Personal tabletop relay (Figure 10(a)): control-loop latency sweep")
+	for _, loopSamples := range []int{0, 8, 48, 120} {
+		p := mute.DefaultParams(mute.DefaultScene(mute.WhiteNoise(1, fs, 0.5)))
+		p.Duration = 8
+		r, err := mute.RunVariant(mute.VariantParams{
+			Base:                    p,
+			Variant:                 mute.Tabletop,
+			ControlLoopDelaySamples: loopSamples,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep, err := mute.Summarize(r)
+		if err != nil {
+			log.Fatal(err)
+		}
+		loopMs := float64(loopSamples) / fs * 1000
+		fmt.Printf("  loop %5.1f ms: %s\n", loopMs, rep)
+	}
+
+	// Smart noise (Figure 10(c)): the relay rides on the noise source.
+	p := mute.DefaultParams(mute.DefaultScene(mute.WhiteNoise(1, fs, 0.5)))
+	p.Duration = 8
+	r, err := mute.RunVariant(mute.VariantParams{Base: p, Variant: mute.SmartNoise})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := mute.Summarize(r)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nSmart noise (relay on the source): %s\n", rep)
+	fmt.Println("maximal lookahead — the best case the architecture allows")
+}

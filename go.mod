@@ -1,0 +1,3 @@
+module mute
+
+go 1.22

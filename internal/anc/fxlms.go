@@ -1,0 +1,140 @@
+package anc
+
+import (
+	"fmt"
+	"math"
+
+	"mute/internal/dsp"
+)
+
+// FxLMS is the conventional feedforward ANC algorithm used by today's
+// headphones (Section 2 of the paper): a causal adaptive filter h_AF driven
+// by the reference microphone, whose updates are computed against the
+// reference signal filtered through an estimate of the secondary path
+// ĥ_se (speaker → error microphone).
+//
+// The processing-latency limitation of real headphones is modeled by
+// PipelineDelay: the anti-noise computed from reference sample x(t) only
+// reaches the speaker PipelineDelay samples later, which is precisely the
+// missed deadline of Figure 5(a).
+type FxLMS struct {
+	cfg    LMSConfig
+	w      []float64 // h_AF weights (causal taps only)
+	x      []float64 // reference history, newest first
+	fx     []float64 // filtered-x history (x through ĥ_se), newest first
+	sec    *dsp.StreamConvolver
+	fxPow  float64
+	xPow   float64
+	errVar float64 // running residual variance for robust update clipping
+}
+
+// NewFxLMS creates the conventional-ANC baseline. secPathEst is the
+// secondary-path estimate ĥ_se used for the filtered-x computation.
+func NewFxLMS(cfg LMSConfig, secPathEst []float64) (*FxLMS, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(secPathEst) == 0 {
+		return nil, fmt.Errorf("anc: empty secondary path estimate")
+	}
+	return &FxLMS{
+		cfg: cfg,
+		w:   make([]float64, cfg.Taps),
+		x:   make([]float64, cfg.Taps),
+		fx:  make([]float64, cfg.Taps),
+		sec: dsp.NewStreamConvolver(secPathEst),
+	}, nil
+}
+
+// Push shifts a new reference-microphone sample into the histories.
+func (f *FxLMS) Push(x float64) {
+	oldX := f.x[len(f.x)-1]
+	copy(f.x[1:], f.x)
+	f.x[0] = x
+	f.xPow += x*x - oldX*oldX
+	if f.xPow < 0 {
+		f.xPow = 0
+	}
+	fxNew := f.sec.Process(x)
+	old := f.fx[len(f.fx)-1]
+	copy(f.fx[1:], f.fx)
+	f.fx[0] = fxNew
+	f.fxPow += fxNew*fxNew - old*old
+	if f.fxPow < 0 {
+		f.fxPow = 0
+	}
+}
+
+// AntiNoise computes the current anti-noise output α(t) = Σ w[k] x(t-k).
+func (f *FxLMS) AntiNoise() float64 {
+	var y float64
+	for k, wk := range f.w {
+		y += wk * f.x[k]
+	}
+	return y
+}
+
+// Adapt applies the filtered-x LMS update given the measured residual
+// error e(t) from the error microphone (Equation 7, causal taps only):
+// w[k] -= µ e(t) fx(t-k).
+func (f *FxLMS) Adapt(e float64) {
+	// Robust clipping: bound impulsive residuals (hammer strikes, clicks)
+	// to a few standard deviations of recent history so one transient
+	// cannot kick the weights out of the stability region.
+	f.errVar = 0.998*f.errVar + 0.002*e*e
+	if limit := 3 * math.Sqrt(f.errVar); limit > 0 && (e > limit || e < -limit) {
+		if e > 0 {
+			e = limit
+		} else {
+			e = -limit
+		}
+	}
+	mu := f.cfg.Mu
+	if f.cfg.Normalized {
+		// Regularized NLMS. The raw reference power enters the
+		// normalizer so that sound concentrated where the secondary
+		// path has little gain (e.g. rumble below the transducer's
+		// high-pass corner) cannot inflate the effective step: filtered-x
+		// power alone would be tiny there while the gradient noise is not.
+		mu /= f.fxPow + 0.05*f.xPow + 1e-3
+	}
+	leak := 1 - f.cfg.Leak*f.cfg.Mu
+	for k := range f.w {
+		w := f.w[k]
+		if f.cfg.Leak > 0 {
+			w *= leak
+		}
+		f.w[k] = w - mu*e*f.fx[k]
+	}
+}
+
+// Weights returns a copy of h_AF.
+func (f *FxLMS) Weights() []float64 {
+	out := make([]float64, len(f.w))
+	copy(out, f.w)
+	return out
+}
+
+// SetWeights loads cached weights.
+func (f *FxLMS) SetWeights(w []float64) error {
+	if len(w) != len(f.w) {
+		return fmt.Errorf("anc: weight length %d != taps %d", len(w), len(f.w))
+	}
+	copy(f.w, w)
+	return nil
+}
+
+// Reset clears adaptation state (weights, histories, secondary filter).
+func (f *FxLMS) Reset() {
+	for i := range f.w {
+		f.w[i] = 0
+	}
+	for i := range f.x {
+		f.x[i] = 0
+		f.fx[i] = 0
+	}
+	f.fxPow = 0
+	f.xPow = 0
+	f.errVar = 0
+	f.sec.Reset()
+}

@@ -1,0 +1,149 @@
+package anc
+
+import (
+	"testing"
+
+	"mute/internal/audio"
+	"mute/internal/dsp"
+)
+
+func TestRLSConfigValidate(t *testing.T) {
+	good := RLSConfig{Taps: 8, Lambda: 0.999, Delta: 0.01}
+	if err := good.Validate(); err != nil {
+		t.Errorf("good config invalid: %v", err)
+	}
+	bad := []RLSConfig{
+		{Taps: 0, Lambda: 0.99, Delta: 0.01},
+		{Taps: 8, Lambda: 0, Delta: 0.01},
+		{Taps: 8, Lambda: 1.1, Delta: 0.01},
+		{Taps: 8, Lambda: 0.99, Delta: 0},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d should be invalid", i)
+		}
+		if _, err := NewRLS(c); err == nil {
+			t.Errorf("constructor should reject case %d", i)
+		}
+	}
+}
+
+func TestRLSIdentifiesSystem(t *testing.T) {
+	h := []float64{0.8, -0.3, 0.15, 0.05}
+	r, err := NewRLS(RLSConfig{Taps: 8, Lambda: 0.999, Delta: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := audio.NewRNG(1)
+	ch := dsp.NewStreamConvolver(h)
+	for i := 0; i < 2000; i++ {
+		x := rng.Uniform()
+		d := ch.Process(x)
+		r.Step(x, d)
+	}
+	if m := r.Misalignment(h); m > 1e-6 {
+		t.Errorf("RLS misalignment = %g, want < 1e-6", m)
+	}
+}
+
+func TestRLSConvergesFasterThanNLMSOnColoredInput(t *testing.T) {
+	// The motivation for RLS: colored (correlated) input slows LMS/NLMS
+	// dramatically while RLS is insensitive to the input spectrum.
+	h := []float64{0.7, -0.25, 0.1, 0.05, -0.02}
+	color, err := dsp.LowPassFIR(600, 8000, 31, dsp.Hamming)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 3000
+	rng := audio.NewRNG(2)
+	colorCh := dsp.NewStreamConvolver(color)
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = colorCh.Process(rng.Uniform()) * 3
+	}
+	sys := dsp.NewStreamConvolver(h)
+	ds := sys.ProcessBlock(xs)
+
+	rls, err := NewRLS(RLSConfig{Taps: 10, Lambda: 0.999, Delta: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nlms, err := NewAdaptiveFilter(LMSConfig{Taps: 10, Mu: 0.5, Normalized: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		rls.Step(xs[i], ds[i])
+		nlms.Step(xs[i], ds[i])
+	}
+	mr, mn := rls.Misalignment(h), nlms.Misalignment(h)
+	if mr >= mn {
+		t.Errorf("RLS misalignment %g should beat NLMS %g on colored input", mr, mn)
+	}
+	// Heavily colored input leaves high-frequency modes weakly excited, so
+	// exact identification is not reachable; 1e-2 is still far tighter
+	// than NLMS achieves here.
+	if mr > 1e-2 {
+		t.Errorf("RLS should converge tightly on colored input, got %g", mr)
+	}
+}
+
+func TestRLSTracksChangingChannel(t *testing.T) {
+	// Head mobility stand-in: the channel flips mid-run; a forgetting
+	// factor < 1 re-converges.
+	h1 := []float64{0.8, 0.2}
+	h2 := []float64{-0.4, 0.6}
+	r, err := NewRLS(RLSConfig{Taps: 4, Lambda: 0.995, Delta: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := audio.NewRNG(3)
+	ch1 := dsp.NewStreamConvolver(h1)
+	ch2 := dsp.NewStreamConvolver(h2)
+	for i := 0; i < 2000; i++ {
+		x := rng.Uniform()
+		r.Step(x, ch1.Process(x))
+	}
+	if m := r.Misalignment(h1); m > 1e-4 {
+		t.Fatalf("phase 1 misalignment %g", m)
+	}
+	for i := 0; i < 4000; i++ {
+		x := rng.Uniform()
+		r.Step(x, ch2.Process(x))
+	}
+	if m := r.Misalignment(h2); m > 1e-3 {
+		t.Errorf("after channel change, misalignment = %g, want < 1e-3", m)
+	}
+}
+
+func TestRLSReset(t *testing.T) {
+	r, err := NewRLS(RLSConfig{Taps: 4, Lambda: 0.999, Delta: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := audio.NewRNG(4)
+	for i := 0; i < 100; i++ {
+		r.Step(rng.Uniform(), rng.Uniform())
+	}
+	r.Reset()
+	for _, w := range r.Weights() {
+		if w != 0 {
+			t.Fatal("reset should zero weights")
+		}
+	}
+	r.Push(1)
+	if r.Output() != 0 {
+		t.Error("reset RLS should output 0")
+	}
+}
+
+func BenchmarkRLSStep64(b *testing.B) {
+	r, err := NewRLS(RLSConfig{Taps: 64, Lambda: 0.999, Delta: 0.01})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Step(0.5, 0.3)
+	}
+}

@@ -1,0 +1,41 @@
+package anc
+
+import (
+	"fmt"
+
+	"mute/internal/audio"
+	"mute/internal/dsp"
+)
+
+// EstimateSecondaryPath identifies the speaker → error-microphone channel
+// h_se by playing a known white-noise preamble through the anti-noise
+// speaker and adapting an LMS identifier against the error microphone's
+// response — the procedure the paper notes is easy because the probe is
+// known (Section 2).
+//
+// truePath is the physical channel the probe passes through (supplied by
+// the simulator); micNoiseRMS adds measurement noise at the error mic.
+// The function returns the estimated impulse response of length taps.
+func EstimateSecondaryPath(truePath []float64, taps, probeLen int, micNoiseRMS float64, seed uint64) ([]float64, error) {
+	if len(truePath) == 0 {
+		return nil, fmt.Errorf("anc: empty true secondary path")
+	}
+	if taps <= 0 {
+		return nil, fmt.Errorf("anc: taps must be positive, got %d", taps)
+	}
+	if probeLen < taps*10 {
+		probeLen = taps * 10
+	}
+	id, err := NewAdaptiveFilter(LMSConfig{Taps: taps, Mu: 0.5, Normalized: true})
+	if err != nil {
+		return nil, err
+	}
+	rng := audio.NewRNG(seed)
+	ch := dsp.NewStreamConvolver(truePath)
+	for i := 0; i < probeLen; i++ {
+		probe := rng.Uniform()
+		d := ch.Process(probe) + micNoiseRMS*rng.Norm()
+		id.Step(probe, d)
+	}
+	return id.Weights(), nil
+}

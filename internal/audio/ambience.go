@@ -1,0 +1,150 @@
+package audio
+
+import (
+	"math"
+
+	"mute/internal/dsp"
+)
+
+// This file synthesizes the ambient scenarios the paper's introduction
+// motivates: overhead airport announcements (napping at airports) and road
+// traffic (sound pollution in developing regions).
+
+// Traffic models road noise: a continuous pink rumble low-passed to engine
+// frequencies, plus vehicle pass-by events whose broadband hiss swells and
+// fades over a few seconds.
+type Traffic struct {
+	rng    *RNG
+	rate   float64
+	amp    float64
+	rumble *PinkNoise
+	lp     *dsp.Biquad
+
+	// Pass-by state.
+	passPos   int // sample index within the active pass-by, -1 when idle
+	passLen   int
+	passGain  float64
+	hiss      *WhiteNoise
+	hissLP    *dsp.Biquad
+	nextStart int // countdown to the next pass-by
+}
+
+// NewTraffic creates a road-noise source; density is vehicles per minute
+// (6–30 typical).
+func NewTraffic(seed uint64, sampleRate, amp, density float64) *Traffic {
+	if density <= 0 {
+		density = 12
+	}
+	lp, _ := dsp.NewLowPassBiquad(300, sampleRate, 0.7071)
+	hlp, _ := dsp.NewLowPassBiquad(2500, sampleRate, 0.7071)
+	t := &Traffic{
+		rng:     NewRNG(seed),
+		rate:    sampleRate,
+		amp:     amp,
+		rumble:  NewPinkNoise(seed+1, sampleRate, amp*0.5),
+		lp:      lp,
+		hiss:    NewWhiteNoise(seed+2, sampleRate, 1),
+		hissLP:  hlp,
+		passPos: -1,
+	}
+	t.scheduleNext(density)
+	return t
+}
+
+func (t *Traffic) scheduleNext(density float64) {
+	mean := 60.0 / density * t.rate
+	t.nextStart = int(t.rng.Range(0.5, 1.5) * mean)
+}
+
+// Next returns the next traffic sample.
+func (t *Traffic) Next() float64 {
+	s := t.lp.Process(t.rumble.Next())
+	if t.passPos < 0 {
+		t.nextStart--
+		if t.nextStart <= 0 {
+			t.passPos = 0
+			t.passLen = int(t.rng.Range(2, 5) * t.rate)
+			t.passGain = t.rng.Range(0.4, 1.0) * t.amp
+			t.scheduleNext(12)
+		}
+		return s
+	}
+	// Raised-cosine swell over the pass-by duration.
+	frac := float64(t.passPos) / float64(t.passLen)
+	env := 0.5 - 0.5*math.Cos(2*math.Pi*frac)
+	s += t.passGain * env * t.hissLP.Process(t.hiss.Next())
+	t.passPos++
+	if t.passPos >= t.passLen {
+		t.passPos = -1
+	}
+	return s
+}
+
+// SampleRate implements Generator.
+func (t *Traffic) SampleRate() float64 { return t.rate }
+
+// Announcement models public-address announcements: a two-tone chime, a
+// sentence of continuous speech, then a long silence before the cycle
+// repeats — the intermittent high-energy profile that benefits most from
+// predictive filter switching.
+type Announcement struct {
+	rng   *RNG
+	rate  float64
+	amp   float64
+	voice *Speech
+
+	mode      int // 0 silence, 1 chime, 2 speech
+	remaining int
+	chimeT    float64
+}
+
+// NewAnnouncement creates a PA-announcement source.
+func NewAnnouncement(seed uint64, sampleRate, amp float64) *Announcement {
+	a := &Announcement{
+		rng:   NewRNG(seed),
+		rate:  sampleRate,
+		amp:   amp,
+		voice: NewContinuousSpeech(seed+1, FemaleVoice, sampleRate, amp),
+	}
+	a.mode = 0
+	a.remaining = int(a.rng.Range(1, 3) * sampleRate)
+	return a
+}
+
+// Next returns the next announcement sample.
+func (a *Announcement) Next() float64 {
+	if a.remaining <= 0 {
+		switch a.mode {
+		case 0: // silence → chime
+			a.mode = 1
+			a.remaining = int(1.2 * a.rate)
+			a.chimeT = 0
+		case 1: // chime → speech
+			a.mode = 2
+			a.remaining = int(a.rng.Range(3, 6) * a.rate)
+		default: // speech → silence
+			a.mode = 0
+			a.remaining = int(a.rng.Range(4, 9) * a.rate)
+		}
+	}
+	a.remaining--
+	switch a.mode {
+	case 1:
+		// Two descending chime notes with decay.
+		f := 880.0
+		if a.chimeT > 0.6 {
+			f = 659.25
+		}
+		phase := 2 * math.Pi * f * a.chimeT
+		env := math.Exp(-3 * math.Mod(a.chimeT, 0.6))
+		a.chimeT += 1 / a.rate
+		return a.amp * 0.6 * env * math.Sin(phase)
+	case 2:
+		return a.voice.Next()
+	default:
+		return 0
+	}
+}
+
+// SampleRate implements Generator.
+func (a *Announcement) SampleRate() float64 { return a.rate }

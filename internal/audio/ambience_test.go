@@ -1,0 +1,92 @@
+package audio
+
+import (
+	"testing"
+
+	"mute/internal/dsp"
+)
+
+func TestTrafficSpectrum(t *testing.T) {
+	g := NewTraffic(1, testRate, 0.6, 20)
+	x := Render(g, 20*8000)
+	psd, err := dsp.WelchPSD(x, testRate, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rumble dominates low frequencies; pass-bys add mid-band hiss.
+	low := psd.BandPower(20, 300)
+	high := psd.BandPower(3000, 3900)
+	if low < 5*high {
+		t.Errorf("traffic should be rumble-dominated: low=%g high=%g", low, high)
+	}
+	if psd.BandPower(500, 2500) <= 0 {
+		t.Error("pass-by hiss should add mid-band energy")
+	}
+}
+
+func TestTrafficPassbysModulateLevel(t *testing.T) {
+	g := NewTraffic(2, testRate, 0.8, 30)
+	x := Render(g, 30*8000)
+	// Per-second power should vary substantially (pass-bys vs gaps).
+	var levels []float64
+	for s := 0; s+8000 <= len(x); s += 8000 {
+		levels = append(levels, dsp.Power(x[s:s+8000]))
+	}
+	minL, maxL := levels[0], levels[0]
+	for _, v := range levels {
+		if v < minL {
+			minL = v
+		}
+		if v > maxL {
+			maxL = v
+		}
+	}
+	if maxL < 2*minL {
+		t.Errorf("pass-bys should modulate the level: min=%g max=%g", minL, maxL)
+	}
+}
+
+func TestTrafficDefaultDensity(t *testing.T) {
+	g := NewTraffic(3, testRate, 0.5, 0) // 0 → default density
+	x := Render(g, 8000)
+	if dsp.Power(x) <= 0 {
+		t.Error("traffic should produce sound")
+	}
+	if g.SampleRate() != testRate {
+		t.Error("rate mismatch")
+	}
+}
+
+func TestAnnouncementCycle(t *testing.T) {
+	g := NewAnnouncement(4, testRate, 0.8)
+	x := Render(g, 40*8000)
+	// The cycle must include silence, chime (tonal ~880/659 Hz), and
+	// speech. Check: substantial silent time AND substantial active time.
+	frame := 1600
+	var silent, active int
+	for s := 0; s+frame <= len(x); s += frame {
+		if dsp.Power(x[s:s+frame]) < 1e-8 {
+			silent++
+		} else {
+			active++
+		}
+	}
+	if silent < 5 {
+		t.Errorf("announcements should leave silence between cycles, got %d silent frames", silent)
+	}
+	if active < 5 {
+		t.Errorf("announcements should produce sound, got %d active frames", active)
+	}
+	// Chime energy near 880 Hz should be present somewhere.
+	psd, err := dsp.WelchPSD(x, testRate, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chime := psd.BandPower(840, 920)
+	if chime <= 0 {
+		t.Error("chime band should carry energy")
+	}
+	if g.SampleRate() != testRate {
+		t.Error("rate mismatch")
+	}
+}

@@ -1,0 +1,129 @@
+package audio
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// WriteWAV encodes mono float64 samples in [-1, 1] as a 16-bit PCM WAV
+// stream. Samples outside the range are clipped.
+func WriteWAV(w io.Writer, samples []float64, sampleRate int) error {
+	if sampleRate <= 0 {
+		return fmt.Errorf("audio: invalid sample rate %d", sampleRate)
+	}
+	dataLen := len(samples) * 2
+	var hdr [44]byte
+	copy(hdr[0:4], "RIFF")
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(36+dataLen))
+	copy(hdr[8:12], "WAVE")
+	copy(hdr[12:16], "fmt ")
+	binary.LittleEndian.PutUint32(hdr[16:20], 16)                   // fmt chunk size
+	binary.LittleEndian.PutUint16(hdr[20:22], 1)                    // PCM
+	binary.LittleEndian.PutUint16(hdr[22:24], 1)                    // mono
+	binary.LittleEndian.PutUint32(hdr[24:28], uint32(sampleRate))   // sample rate
+	binary.LittleEndian.PutUint32(hdr[28:32], uint32(sampleRate*2)) // byte rate
+	binary.LittleEndian.PutUint16(hdr[32:34], 2)                    // block align
+	binary.LittleEndian.PutUint16(hdr[34:36], 16)                   // bits/sample
+	copy(hdr[36:40], "data")
+	binary.LittleEndian.PutUint32(hdr[40:44], uint32(dataLen))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("audio: write WAV header: %w", err)
+	}
+	buf := make([]byte, 2*len(samples))
+	for i, s := range samples {
+		if s > 1 {
+			s = 1
+		} else if s < -1 {
+			s = -1
+		}
+		v := int16(math.Round(s * 32767))
+		binary.LittleEndian.PutUint16(buf[2*i:], uint16(v))
+	}
+	if _, err := w.Write(buf); err != nil {
+		return fmt.Errorf("audio: write WAV data: %w", err)
+	}
+	return nil
+}
+
+// ReadWAV decodes a mono or stereo 16-bit PCM WAV stream, returning mono
+// float64 samples in [-1, 1] (stereo is averaged) and the sample rate.
+func ReadWAV(r io.Reader) ([]float64, int, error) {
+	var hdr [12]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, 0, fmt.Errorf("audio: read RIFF header: %w", err)
+	}
+	if string(hdr[0:4]) != "RIFF" || string(hdr[8:12]) != "WAVE" {
+		return nil, 0, fmt.Errorf("audio: not a RIFF/WAVE stream")
+	}
+	var (
+		sampleRate int
+		channels   int
+		bits       int
+		data       []byte
+	)
+	for {
+		var chunk [8]byte
+		if _, err := io.ReadFull(r, chunk[:]); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				break
+			}
+			return nil, 0, fmt.Errorf("audio: read chunk header: %w", err)
+		}
+		id := string(chunk[0:4])
+		size := binary.LittleEndian.Uint32(chunk[4:8])
+		body := make([]byte, size)
+		if _, err := io.ReadFull(r, body); err != nil {
+			return nil, 0, fmt.Errorf("audio: read chunk %q: %w", id, err)
+		}
+		switch id {
+		case "fmt ":
+			if size < 16 {
+				return nil, 0, fmt.Errorf("audio: fmt chunk too small (%d bytes)", size)
+			}
+			format := binary.LittleEndian.Uint16(body[0:2])
+			if format != 1 {
+				return nil, 0, fmt.Errorf("audio: unsupported WAV format %d (want PCM)", format)
+			}
+			channels = int(binary.LittleEndian.Uint16(body[2:4]))
+			sampleRate = int(binary.LittleEndian.Uint32(body[4:8]))
+			bits = int(binary.LittleEndian.Uint16(body[14:16]))
+		case "data":
+			data = body
+		}
+		if size%2 == 1 {
+			// Chunks are word-aligned; consume the pad byte.
+			var pad [1]byte
+			if _, err := io.ReadFull(r, pad[:]); err != nil {
+				break
+			}
+		}
+		if data != nil && sampleRate != 0 {
+			break
+		}
+	}
+	if sampleRate == 0 {
+		return nil, 0, fmt.Errorf("audio: missing fmt chunk")
+	}
+	if data == nil {
+		return nil, 0, fmt.Errorf("audio: missing data chunk")
+	}
+	if bits != 16 {
+		return nil, 0, fmt.Errorf("audio: unsupported bit depth %d (want 16)", bits)
+	}
+	if channels != 1 && channels != 2 {
+		return nil, 0, fmt.Errorf("audio: unsupported channel count %d", channels)
+	}
+	frames := len(data) / (2 * channels)
+	out := make([]float64, frames)
+	for i := 0; i < frames; i++ {
+		var acc float64
+		for c := 0; c < channels; c++ {
+			v := int16(binary.LittleEndian.Uint16(data[2*(i*channels+c):]))
+			acc += float64(v) / 32767
+		}
+		out[i] = acc / float64(channels)
+	}
+	return out, sampleRate, nil
+}

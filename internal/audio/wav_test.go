@@ -1,0 +1,98 @@
+package audio
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestWAVRoundTrip(t *testing.T) {
+	in := Render(NewTone(440, 8000, 0.5, 0), 800)
+	var buf bytes.Buffer
+	if err := WriteWAV(&buf, in, 8000); err != nil {
+		t.Fatal(err)
+	}
+	out, rate, err := ReadWAV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate != 8000 {
+		t.Errorf("rate = %d, want 8000", rate)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("length = %d, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if math.Abs(out[i]-in[i]) > 1.0/32000 {
+			t.Fatalf("sample %d: %g vs %g", i, out[i], in[i])
+		}
+	}
+}
+
+func TestWAVRoundTripProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := NewWhiteNoise(seed, 8000, 0.9)
+		in := Render(g, 257)
+		var buf bytes.Buffer
+		if err := WriteWAV(&buf, in, 8000); err != nil {
+			return false
+		}
+		out, rate, err := ReadWAV(&buf)
+		if err != nil || rate != 8000 || len(out) != len(in) {
+			return false
+		}
+		for i := range in {
+			if math.Abs(out[i]-in[i]) > 1.0/32000 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWAVClipping(t *testing.T) {
+	in := []float64{2.0, -2.0, 0}
+	var buf bytes.Buffer
+	if err := WriteWAV(&buf, in, 8000); err != nil {
+		t.Fatal(err)
+	}
+	out, _, err := ReadWAV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(out[0]-1) > 1e-3 || math.Abs(out[1]+1) > 1e-3 {
+		t.Errorf("clipping failed: %v", out)
+	}
+}
+
+func TestWAVErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteWAV(&buf, []float64{0}, 0); err == nil {
+		t.Error("zero sample rate should error")
+	}
+	if _, _, err := ReadWAV(strings.NewReader("not a wav")); err == nil {
+		t.Error("garbage input should error")
+	}
+	if _, _, err := ReadWAV(strings.NewReader("RIFFxxxxWAVE")); err == nil {
+		t.Error("missing chunks should error")
+	}
+}
+
+func TestWAVEmptySignal(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteWAV(&buf, nil, 8000); err != nil {
+		t.Fatal(err)
+	}
+	out, rate, err := ReadWAV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate != 8000 || len(out) != 0 {
+		t.Errorf("empty WAV round trip: rate=%d len=%d", rate, len(out))
+	}
+}

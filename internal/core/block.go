@@ -1,0 +1,173 @@
+package core
+
+import (
+	"fmt"
+	"math/cmplx"
+
+	"mute/internal/dsp"
+)
+
+// BlockLANC is a frequency-domain (fast block LMS) implementation of LANC
+// for long filters: overlap-save convolution and per-bin normalized
+// updates replace the O(M) per-sample loop with O(F log F) per block of B
+// samples — the structure production ANC firmware uses once filters grow
+// past a few hundred taps.
+//
+// The lookahead view: relative to the *forwarded* stream, LANC's
+// non-causal taps are ordinary causal taps (the stream runs N samples
+// ahead of the acoustic wavefront), so the block filter is a standard
+// causal FBLMS over the forwarded stream. Block processing spends part of
+// the lookahead budget on latency: the last sample of each block is
+// computed B−1 samples before its error is observable, so choose
+// BlockSize ≤ the non-causal budget.
+type BlockLANC struct {
+	m, b, f int // filter taps, block size, FFT size
+
+	w      []complex128 // frequency-domain weights
+	hse    []complex128 // FFT of ĥ_se
+	inBuf  []float64    // last f samples of the forwarded stream
+	fxBuf  []float64    // last f samples of the filtered-x stream
+	fxConv *dsp.StreamConvolver
+	lastFX []complex128 // FFT of the fx window behind the previous output block
+	pow    []float64    // per-bin input power estimate
+	mu     float64
+	lambda float64
+	primed bool
+}
+
+// BlockConfig configures a BlockLANC.
+type BlockConfig struct {
+	// FilterTaps is the total filter length M (the sample-domain
+	// N + L + 1).
+	FilterTaps int
+	// BlockSize is B, the samples produced per call. Latency grows with
+	// B; keep it at or below the deployment's non-causal budget.
+	BlockSize int
+	// Mu is the normalized per-bin step (0.1–1 typical).
+	Mu float64
+	// SecondaryPath is the ĥ_se estimate.
+	SecondaryPath []float64
+	// Lambda is the per-bin power smoothing factor (default 0.9).
+	Lambda float64
+}
+
+// NewBlock creates a frequency-domain LANC.
+func NewBlock(cfg BlockConfig) (*BlockLANC, error) {
+	if cfg.FilterTaps <= 0 {
+		return nil, fmt.Errorf("core: block filter taps %d must be positive", cfg.FilterTaps)
+	}
+	if cfg.BlockSize <= 0 {
+		return nil, fmt.Errorf("core: block size %d must be positive", cfg.BlockSize)
+	}
+	if cfg.Mu <= 0 {
+		return nil, fmt.Errorf("core: block mu %g must be positive", cfg.Mu)
+	}
+	if len(cfg.SecondaryPath) == 0 {
+		return nil, fmt.Errorf("core: missing secondary path estimate")
+	}
+	if cfg.Lambda == 0 {
+		cfg.Lambda = 0.9
+	}
+	if cfg.Lambda <= 0 || cfg.Lambda >= 1 {
+		return nil, fmt.Errorf("core: block lambda %g outside (0, 1)", cfg.Lambda)
+	}
+	f := dsp.NextPow2(cfg.FilterTaps + cfg.BlockSize - 1)
+	bl := &BlockLANC{
+		m:      cfg.FilterTaps,
+		b:      cfg.BlockSize,
+		f:      f,
+		w:      make([]complex128, f),
+		hse:    dsp.FFTReal(cfg.SecondaryPath, f),
+		inBuf:  make([]float64, f),
+		fxBuf:  make([]float64, f),
+		fxConv: dsp.NewStreamConvolver(cfg.SecondaryPath),
+		lastFX: make([]complex128, f),
+		pow:    make([]float64, f),
+		mu:     cfg.Mu,
+		lambda: cfg.Lambda,
+	}
+	return bl, nil
+}
+
+// BlockSize returns B.
+func (bl *BlockLANC) BlockSize() int { return bl.b }
+
+// ProcessBlock consumes the B newest forwarded samples and the B residual
+// errors measured for the previous output block, and returns the next B
+// anti-noise samples. Pass zeros for ePrev on the first call.
+func (bl *BlockLANC) ProcessBlock(xNew, ePrev []float64) ([]float64, error) {
+	if len(xNew) != bl.b || len(ePrev) != bl.b {
+		return nil, fmt.Errorf("core: block size mismatch (got %d/%d, want %d)", len(xNew), len(ePrev), bl.b)
+	}
+	// 1. Adapt with the previous block's errors against the fx window that
+	//    produced it (skipped until one block has been emitted).
+	if bl.primed {
+		eVec := make([]float64, bl.f)
+		copy(eVec[bl.f-bl.b:], ePrev)
+		E := dsp.FFTReal(eVec, bl.f)
+		// Gradient in frequency domain: conj(FX)∘E, normalized per bin.
+		grad := make([]complex128, bl.f)
+		for k := 0; k < bl.f; k++ {
+			norm := bl.pow[k] + 1e-6
+			grad[k] = cmplx.Conj(bl.lastFX[k]) * E[k] / complex(norm, 0)
+		}
+		// Gradient constraint: force the update to a causal M-tap filter.
+		g := dsp.IFFTReal(grad)
+		for i := bl.m; i < bl.f; i++ {
+			g[i] = 0
+		}
+		G := dsp.FFTReal(g, bl.f)
+		for k := 0; k < bl.f; k++ {
+			bl.w[k] -= complex(bl.mu, 0) * G[k]
+		}
+	}
+
+	// 2. Slide the input windows by B.
+	copy(bl.inBuf, bl.inBuf[bl.b:])
+	copy(bl.inBuf[bl.f-bl.b:], xNew)
+	copy(bl.fxBuf, bl.fxBuf[bl.b:])
+	for i, x := range xNew {
+		bl.fxBuf[bl.f-bl.b+i] = bl.fxConv.Process(x)
+	}
+
+	// 3. Output block via overlap-save.
+	X := dsp.FFTReal(bl.inBuf, bl.f)
+	FX := dsp.FFTReal(bl.fxBuf, bl.f)
+	for k := 0; k < bl.f; k++ {
+		mag := cmplx.Abs(FX[k])
+		bl.pow[k] = bl.lambda*bl.pow[k] + (1-bl.lambda)*mag*mag
+	}
+	copy(bl.lastFX, FX)
+	prod := make([]complex128, bl.f)
+	for k := 0; k < bl.f; k++ {
+		prod[k] = X[k] * bl.w[k]
+	}
+	y := dsp.IFFTReal(prod)
+	out := make([]float64, bl.b)
+	copy(out, y[bl.f-bl.b:])
+	bl.primed = true
+	return out, nil
+}
+
+// Weights returns the current sample-domain filter taps (length M).
+func (bl *BlockLANC) Weights() []float64 {
+	w := dsp.IFFTReal(bl.w)
+	out := make([]float64, bl.m)
+	copy(out, w[:bl.m])
+	return out
+}
+
+// Reset clears all adaptation state.
+func (bl *BlockLANC) Reset() {
+	for i := range bl.w {
+		bl.w[i] = 0
+		bl.lastFX[i] = 0
+		bl.pow[i] = 0
+	}
+	for i := range bl.inBuf {
+		bl.inBuf[i] = 0
+		bl.fxBuf[i] = 0
+	}
+	bl.fxConv.Reset()
+	bl.primed = false
+}

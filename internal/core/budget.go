@@ -1,0 +1,56 @@
+package core
+
+import "fmt"
+
+// PipelineDelays models the converter and transducer latencies of
+// Equation 3: lookahead must cover ADC + DSP + DAC + speaker delay before
+// any non-causal filtering is possible. All values are in samples at the
+// processing rate.
+type PipelineDelays struct {
+	ADC     int
+	DSP     int
+	DAC     int
+	Speaker int
+}
+
+// Total returns the summed pipeline delay in samples.
+func (p PipelineDelays) Total() int { return p.ADC + p.DSP + p.DAC + p.Speaker }
+
+// DefaultPipeline returns the delays of the paper's prototype at 8 kHz:
+// one sample each for the codec ADC and DAC paths and one for DSP
+// processing (the TMS320C6713 finishes within a sample period), plus one
+// for speaker playback latency.
+func DefaultPipeline() PipelineDelays {
+	return PipelineDelays{ADC: 1, DSP: 1, DAC: 1, Speaker: 1}
+}
+
+// Budget splits an available lookahead (in samples) between the processing
+// pipeline and LANC's non-causal taps. DeadlineMet reports whether
+// Equation 3 holds; UsableTaps is the lookahead remaining for non-causal
+// filtering after the pipeline is paid for (zero when the deadline is
+// missed); LateSamples is how late the anti-noise reaches the speaker when
+// the deadline is missed — the phase-error source that cripples
+// conventional headphones at high frequency.
+type Budget struct {
+	LookaheadSamples int
+	Pipeline         PipelineDelays
+	DeadlineMet      bool
+	UsableTaps       int
+	LateSamples      int
+}
+
+// NewBudget computes the lookahead budget.
+func NewBudget(lookaheadSamples int, p PipelineDelays) (Budget, error) {
+	if p.ADC < 0 || p.DSP < 0 || p.DAC < 0 || p.Speaker < 0 {
+		return Budget{}, fmt.Errorf("core: negative pipeline delay %+v", p)
+	}
+	b := Budget{LookaheadSamples: lookaheadSamples, Pipeline: p}
+	spare := lookaheadSamples - p.Total()
+	if spare >= 0 {
+		b.DeadlineMet = true
+		b.UsableTaps = spare
+	} else {
+		b.LateSamples = -spare
+	}
+	return b, nil
+}

@@ -1,0 +1,198 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// FixedLANC is a Q15 fixed-point implementation of the LANC filter,
+// mirroring how the algorithm runs on the paper's TMS320C6713-class DSP
+// hardware: int16 samples, int32 weights, int64 accumulation, saturating
+// output, and a power-of-two (shift-based) normalized step. It exists to
+// demonstrate — and test — that LANC survives 16-bit signal paths with
+// cancellation close to the float implementation.
+//
+// Formats: samples and the filtered-x signal are Q15; weights are Q12 in
+// int32 (±2^19 range, ample for inverse-filter gains); the anti-noise
+// accumulator is Q27 in int64.
+type FixedLANC struct {
+	nonCausal int
+	causal    int
+	muShift   uint // normalized step µ = 2^-muShift
+
+	w       []int32 // Q12, w[i] is h_AF(k), k = i - nonCausal
+	x       []int16 // Q15 shift register; x[len-1] newest (offset +N)
+	fx      []int16 // Q15 filtered-x register, same layout
+	sec     []int16 // Q15 ĥ_se taps
+	secHist []int16 // Q15 history for the secondary-path convolution
+
+	pow int64  // Q15 window power of fx (sum of squares >> 15)
+	sat uint64 // saturation events (diagnostics)
+}
+
+// FixedConfig configures a FixedLANC.
+type FixedConfig struct {
+	// NonCausalTaps and CausalTaps mirror Config.
+	NonCausalTaps, CausalTaps int
+	// MuShift sets the normalized step µ = 2^-MuShift (2–6 typical;
+	// larger = slower, more stable).
+	MuShift uint
+	// SecondaryPath is the ĥ_se estimate; quantized to Q15 on creation.
+	SecondaryPath []float64
+}
+
+// NewFixed creates a fixed-point LANC.
+func NewFixed(cfg FixedConfig) (*FixedLANC, error) {
+	if cfg.NonCausalTaps < 0 || cfg.CausalTaps < 0 {
+		return nil, fmt.Errorf("core: negative tap counts (%d, %d)", cfg.NonCausalTaps, cfg.CausalTaps)
+	}
+	if cfg.NonCausalTaps+cfg.CausalTaps == 0 {
+		return nil, fmt.Errorf("core: fixed LANC needs at least one tap")
+	}
+	if cfg.MuShift > 14 {
+		return nil, fmt.Errorf("core: mu shift %d too large (max 14)", cfg.MuShift)
+	}
+	if len(cfg.SecondaryPath) == 0 {
+		return nil, fmt.Errorf("core: missing secondary path estimate")
+	}
+	sec := make([]int16, len(cfg.SecondaryPath))
+	for i, v := range cfg.SecondaryPath {
+		sec[i] = toQ15(v)
+	}
+	n := cfg.NonCausalTaps + cfg.CausalTaps + 1
+	return &FixedLANC{
+		nonCausal: cfg.NonCausalTaps,
+		causal:    cfg.CausalTaps,
+		muShift:   cfg.MuShift,
+		w:         make([]int32, n),
+		x:         make([]int16, n),
+		fx:        make([]int16, n),
+		sec:       sec,
+		secHist:   make([]int16, len(sec)),
+	}, nil
+}
+
+// toQ15 converts a float in [-1, 1) to Q15, saturating out-of-range,
+// NaN and infinite inputs (float→int conversion of such values is
+// implementation-specific in Go, so clamp in the float domain first).
+func toQ15(v float64) int16 {
+	if math.IsNaN(v) {
+		return 0
+	}
+	if v >= 1 {
+		return 32767
+	}
+	if v <= -1 {
+		return -32768
+	}
+	return int16(v * 32768)
+}
+
+// fromQ15 converts Q15 to float.
+func fromQ15(v int16) float64 { return float64(v) / 32768 }
+
+// satAdd16 saturates an int32 into int16 range, counting events.
+func (f *FixedLANC) satAdd16(v int64) int16 {
+	if v > 32767 {
+		f.sat++
+		return 32767
+	}
+	if v < -32768 {
+		f.sat++
+		return -32768
+	}
+	return int16(v)
+}
+
+// Push feeds the newest forwarded reference sample (float in [-1, 1); it
+// is quantized to Q15 internally, exactly as the codec ADC would).
+func (f *FixedLANC) Push(xf float64) {
+	x := toQ15(xf)
+	// Secondary-path convolution in Q15.
+	copy(f.secHist, f.secHist[1:])
+	f.secHist[len(f.secHist)-1] = x
+	var acc int64
+	for i, h := range f.sec {
+		// secHist[len-1] is newest → pairs with sec[0].
+		acc += int64(h) * int64(f.secHist[len(f.secHist)-1-i])
+	}
+	fxNew := f.satAdd16(acc >> 15)
+
+	// Retire the oldest fx from the running power, admit the newest.
+	old := int64(f.fx[0])
+	f.pow -= (old * old) >> 15
+	copy(f.x, f.x[1:])
+	f.x[len(f.x)-1] = x
+	copy(f.fx, f.fx[1:])
+	f.fx[len(f.fx)-1] = fxNew
+	f.pow += (int64(fxNew) * int64(fxNew)) >> 15
+	if f.pow < 0 {
+		f.pow = 0
+	}
+}
+
+// AntiNoise returns the Q15 anti-noise sample as a float.
+func (f *FixedLANC) AntiNoise() float64 {
+	var acc int64 // Q27
+	// Register layout: x[0] holds offset −L, x[len−1] holds offset +N,
+	// i.e. offset o lives at index o+L. Tap i carries k = i−N and needs
+	// x at offset −k = N−i, which is index N−i+L = len−1−i.
+	for i, wi := range f.w {
+		acc += int64(wi) * int64(f.x[len(f.x)-1-i])
+	}
+	return float64(f.satAdd16(acc>>12)) / 32768
+}
+
+// Adapt applies the shift-normalized update for the measured residual
+// (float, quantized to Q15): w[i] -= (e·fx)/(pow) · 2^-muShift.
+func (f *FixedLANC) Adapt(ef float64) {
+	e := int64(toQ15(ef))
+	pow := f.pow
+	if pow < 1 {
+		pow = 1
+	}
+	// factor ≈ e/pow in Q15: (e<<15)/pow.
+	factor := (e << 15) / pow
+	// Clamp the factor so a silent window cannot produce a huge step.
+	const maxFactor = 1 << 18
+	if factor > maxFactor {
+		factor = maxFactor
+	} else if factor < -maxFactor {
+		factor = -maxFactor
+	}
+	shift := 18 + f.muShift // Q15·Q15 → Q30; weights Q12 → >>18; plus µ
+	for i := range f.w {
+		fx := int64(f.fx[len(f.fx)-1-i])
+		delta := (factor * fx) >> shift
+		f.w[i] -= int32(delta)
+	}
+}
+
+// Saturations returns how many samples saturated the 16-bit range.
+func (f *FixedLANC) Saturations() uint64 { return f.sat }
+
+// Weights returns the weights dequantized to float.
+func (f *FixedLANC) Weights() []float64 {
+	out := make([]float64, len(f.w))
+	for i, w := range f.w {
+		out[i] = float64(w) / 4096
+	}
+	return out
+}
+
+// NonCausalTaps returns N.
+func (f *FixedLANC) NonCausalTaps() int { return f.nonCausal }
+
+// Reset zeroes all state.
+func (f *FixedLANC) Reset() {
+	for i := range f.w {
+		f.w[i] = 0
+		f.x[i] = 0
+		f.fx[i] = 0
+	}
+	for i := range f.secHist {
+		f.secHist[i] = 0
+	}
+	f.pow = 0
+	f.sat = 0
+}

@@ -1,0 +1,384 @@
+// Package core implements LANC — Lookahead-Aware Noise Cancellation — the
+// primary contribution of the MUTE paper (Section 3, Algorithm 1).
+//
+// LANC is a filtered-x adaptive filter whose taps extend into the future:
+// h_AF(k) for k ∈ [−N, L]. The non-causal taps (k < 0) are realizable
+// because the IoT relay forwards the reference signal over RF, delivering
+// x(t+N) while the acoustic wavefront carrying x(t) is still in flight.
+// Larger N yields a better approximation of the non-causal inverse channel
+// h_nr⁻¹ (Equation 2) and therefore deeper cancellation of unpredictable
+// wide-band sound.
+//
+// The package also implements the paper's second lookahead opportunity:
+// predictive sound profiling (Section 3.2(2)). A classifier watches the
+// lookahead buffer, recognizes imminent profile transitions (speech
+// starting or stopping), and swaps cached converged filters in place of
+// gradient re-convergence.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"mute/internal/dsp"
+	"mute/internal/profile"
+)
+
+// Config parameterizes a LANC instance.
+type Config struct {
+	// NonCausalTaps is N: how many future reference samples the filter
+	// uses. It must not exceed the lookahead the deployment provides
+	// (see Budget).
+	NonCausalTaps int
+	// CausalTaps is L: how many past reference samples the filter uses.
+	CausalTaps int
+	// Mu is the adaptation step size.
+	Mu float64
+	// Normalized selects NLMS-style power-normalized steps.
+	Normalized bool
+	// SecondaryPath is the estimate ĥ_se of the anti-noise speaker →
+	// error microphone channel, obtained via anc.EstimateSecondaryPath.
+	SecondaryPath []float64
+	// Leak is an optional LMS leakage factor in [0, 1).
+	Leak float64
+	// ErrorDelay is how many samples late the residual error reaches the
+	// adaptation (e.g. the uplink leg of the Tabletop variant of Section
+	// 4.3). The filtered-x pairing is shifted to match, which keeps the
+	// gradient aligned; 0 for co-located DSPs.
+	ErrorDelay int
+
+	// Profiling enables predictive filter switching.
+	Profiling bool
+	// ProfileWindow is the signature window length in samples (default
+	// 256). The window ends at the most-future sample available, so
+	// transitions are seen NonCausalTaps samples before they arrive.
+	ProfileWindow int
+	// ProfileHop is how often (samples) the profiler re-classifies
+	// (default 64).
+	ProfileHop int
+	// ProfileBands is the signature resolution (default 8).
+	ProfileBands int
+	// ProfileThreshold is the signature matching distance (default 0.25).
+	ProfileThreshold float64
+	// MaxProfiles caps tracked profiles (default 8).
+	MaxProfiles int
+	// SampleRate is required when Profiling is on.
+	SampleRate float64
+}
+
+// Validate checks the configuration and applies profiling defaults.
+func (c *Config) Validate() error {
+	if c.NonCausalTaps < 0 {
+		return fmt.Errorf("core: negative non-causal taps %d", c.NonCausalTaps)
+	}
+	if c.CausalTaps < 0 {
+		return fmt.Errorf("core: negative causal taps %d", c.CausalTaps)
+	}
+	if c.NonCausalTaps+c.CausalTaps == 0 {
+		return fmt.Errorf("core: filter needs at least one tap")
+	}
+	if c.Mu <= 0 {
+		return fmt.Errorf("core: mu must be positive, got %g", c.Mu)
+	}
+	if c.Leak < 0 || c.Leak >= 1 {
+		return fmt.Errorf("core: leak %g outside [0, 1)", c.Leak)
+	}
+	if c.ErrorDelay < 0 {
+		return fmt.Errorf("core: negative error delay %d", c.ErrorDelay)
+	}
+	if len(c.SecondaryPath) == 0 {
+		return fmt.Errorf("core: missing secondary path estimate")
+	}
+	if c.Profiling {
+		if c.SampleRate <= 0 {
+			return fmt.Errorf("core: profiling requires a sample rate")
+		}
+		if c.ProfileWindow <= 0 {
+			c.ProfileWindow = 256
+		}
+		if c.ProfileHop <= 0 {
+			c.ProfileHop = 64
+		}
+		if c.ProfileBands <= 0 {
+			c.ProfileBands = 8
+		}
+		if c.ProfileThreshold <= 0 {
+			c.ProfileThreshold = 0.25
+		}
+		if c.MaxProfiles <= 0 {
+			c.MaxProfiles = 8
+		}
+	}
+	return nil
+}
+
+// LANC is the lookahead-aware noise canceller (Algorithm 1).
+type LANC struct {
+	cfg Config
+
+	// Weights: w[i] holds h_AF(k) with k = i - N, i ∈ [0, N+L].
+	w []float64
+
+	// Reference and filtered-x windows. Both expose offsets
+	// [-L, +N] around the current time t.
+	xBuf   *dsp.LookaheadBuffer
+	fxBuf  *dsp.LookaheadBuffer
+	sec    *dsp.StreamConvolver
+	fxPow  float64
+	xPow   float64
+	errVar float64 // running residual variance for robust update clipping
+
+	// Profiling state.
+	classifier *profile.Classifier
+	cache      *profile.FilterCache
+	window     []float64 // sliding raw window ending at the newest sample
+	winFill    int
+	hopCount   int
+	smBands    []float64 // exponentially smoothed band signature
+	smLevel    float64
+	smPrimed   bool
+	currentID  int
+	pendingID  int // candidate profile awaiting confirmation
+	pendingRun int // consecutive hops the candidate has been seen
+	switches   int
+}
+
+// New creates a LANC instance. The Config is validated and profiling
+// defaults are filled in.
+func New(cfg Config) (*LANC, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	xb, err := dsp.NewLookaheadBuffer(cfg.CausalTaps+cfg.ErrorDelay, cfg.NonCausalTaps)
+	if err != nil {
+		return nil, err
+	}
+	fxb, err := dsp.NewLookaheadBuffer(cfg.CausalTaps+cfg.ErrorDelay, cfg.NonCausalTaps)
+	if err != nil {
+		return nil, err
+	}
+	l := &LANC{
+		cfg:   cfg,
+		w:     make([]float64, cfg.NonCausalTaps+cfg.CausalTaps+1),
+		xBuf:  xb,
+		fxBuf: fxb,
+		sec:   dsp.NewStreamConvolver(cfg.SecondaryPath),
+	}
+	if cfg.Profiling {
+		cl, err := profile.NewClassifier(cfg.ProfileThreshold, cfg.MaxProfiles)
+		if err != nil {
+			return nil, err
+		}
+		l.classifier = cl
+		l.cache = profile.NewFilterCache()
+		l.window = make([]float64, cfg.ProfileWindow)
+	}
+	return l, nil
+}
+
+// Push feeds the newest wirelessly forwarded reference sample x(t+N) and
+// advances the algorithm's clock to time t. It must be called exactly once
+// per sample period, before AntiNoise and Adapt for that period.
+func (l *LANC) Push(x float64) {
+	l.xBuf.Push(x)
+	l.fxBuf.Push(l.sec.Process(x))
+	// Maintain running filtered-x power across the whole tap window for
+	// normalized updates.
+	if l.cfg.Normalized {
+		l.fxPow = 0
+		l.xPow = 0
+		for k := -l.cfg.NonCausalTaps; k <= l.cfg.CausalTaps; k++ {
+			v := l.fxBuf.At(-k)
+			l.fxPow += v * v
+			u := l.xBuf.At(-k)
+			l.xPow += u * u
+		}
+	}
+	if l.cfg.Profiling {
+		l.profileStep(x)
+	}
+}
+
+// AntiNoise returns the anti-noise sample α(t) = Σ_{k=-N}^{L} h_AF(k) x(t−k)
+// (Equation 8). The caller plays it through the anti-noise speaker.
+func (l *LANC) AntiNoise() float64 {
+	var a float64
+	for i, wi := range l.w {
+		k := i - l.cfg.NonCausalTaps
+		a += wi * l.xBuf.At(-k)
+	}
+	return a
+}
+
+// Adapt applies the filtered-x gradient step for the measured residual
+// e(t) at the error microphone (Equation 7, extended to k < 0):
+// h_AF(k) ← h_AF(k) − µ e(t) (ĥ_se ∗ x)(t−k).
+func (l *LANC) Adapt(e float64) {
+	// Robust clipping: impulsive residuals (hammer strikes, clicks) carry
+	// gradients far outside the LMS stability region; limit the error to
+	// a few standard deviations of its recent history (Huber-style).
+	l.errVar = 0.998*l.errVar + 0.002*e*e
+	if limit := 3 * math.Sqrt(l.errVar); limit > 0 && (e > limit || e < -limit) {
+		if e > 0 {
+			e = limit
+		} else {
+			e = -limit
+		}
+	}
+	mu := l.cfg.Mu
+	if l.cfg.Normalized {
+		// The regularizer keeps the effective step bounded through quiet
+		// stretches, and the raw reference power guards frequencies where
+		// the secondary path has little gain (rumble under the
+		// transducer's high-pass corner) from inflating the step.
+		mu /= l.fxPow + 0.05*l.xPow + 1e-3
+	}
+	leak := 1 - l.cfg.Leak*l.cfg.Mu
+	for i := range l.w {
+		k := i - l.cfg.NonCausalTaps
+		w := l.w[i]
+		if l.cfg.Leak > 0 {
+			w *= leak
+		}
+		// A stale error (ErrorDelay > 0) pairs with the equally stale
+		// filtered-x history.
+		l.w[i] = w - mu*e*l.fxBuf.At(-k-l.cfg.ErrorDelay)
+	}
+}
+
+// Step is the per-sample convenience wrapper used by simple deployments:
+// push the newest forwarded sample, emit the anti-noise for the current
+// instant, and adapt with the error measured for the previous instant.
+func (l *LANC) Step(xNew, ePrev float64) float64 {
+	l.Adapt(ePrev)
+	l.Push(xNew)
+	return l.AntiNoise()
+}
+
+// Weights returns a copy of h_AF indexed so that Weights()[i] is the tap
+// for k = i − NonCausalTaps.
+func (l *LANC) Weights() []float64 {
+	out := make([]float64, len(l.w))
+	copy(out, l.w)
+	return out
+}
+
+// SetWeights loads weights (e.g. from a cached profile).
+func (l *LANC) SetWeights(w []float64) error {
+	if len(w) != len(l.w) {
+		return fmt.Errorf("core: weight length %d != %d", len(w), len(l.w))
+	}
+	copy(l.w, w)
+	return nil
+}
+
+// NonCausalTaps returns N.
+func (l *LANC) NonCausalTaps() int { return l.cfg.NonCausalTaps }
+
+// CausalTaps returns L.
+func (l *LANC) CausalTaps() int { return l.cfg.CausalTaps }
+
+// Switches returns how many predictive filter swaps the profiler has
+// performed.
+func (l *LANC) Switches() int { return l.switches }
+
+// CurrentProfile returns the active profile slot (0 = silence) or -1 when
+// profiling is disabled.
+func (l *LANC) CurrentProfile() int {
+	if !l.cfg.Profiling {
+		return -1
+	}
+	return l.currentID
+}
+
+// Reset clears all adaptation and profiling state.
+func (l *LANC) Reset() {
+	for i := range l.w {
+		l.w[i] = 0
+	}
+	l.xBuf.Reset()
+	l.fxBuf.Reset()
+	l.sec.Reset()
+	l.fxPow = 0
+	l.xPow = 0
+	l.errVar = 0
+	l.winFill = 0
+	l.hopCount = 0
+	l.smPrimed = false
+	l.smLevel = 0
+	l.currentID = 0
+	l.pendingID = 0
+	l.pendingRun = 0
+	l.switches = 0
+	if l.cfg.Profiling {
+		l.classifier, _ = profile.NewClassifier(l.cfg.ProfileThreshold, l.cfg.MaxProfiles)
+		l.cache = profile.NewFilterCache()
+	}
+}
+
+// profileStep slides the raw-signal window (which ends at the most-future
+// sample) and, every hop, classifies it. On a profile change it caches the
+// outgoing filter and loads the cached filter for the incoming profile.
+func (l *LANC) profileStep(xNew float64) {
+	copy(l.window, l.window[1:])
+	l.window[len(l.window)-1] = xNew
+	if l.winFill < len(l.window) {
+		l.winFill++
+		return
+	}
+	l.hopCount++
+	if l.hopCount < l.cfg.ProfileHop {
+		return
+	}
+	l.hopCount = 0
+	sig, err := profile.Compute(l.window, l.cfg.SampleRate, l.cfg.ProfileBands)
+	if err != nil {
+		return
+	}
+	// Exponentially smooth the signature across hops so syllable-scale
+	// texture (voiced vs fricative frames of the same talker) does not
+	// masquerade as a profile change.
+	const alpha = 0.4
+	if !l.smPrimed || sig.Silent != (l.smLevel < profile.SilenceFloor) {
+		l.smBands = append(l.smBands[:0], sig.Bands...)
+		l.smLevel = sig.Level
+		l.smPrimed = true
+	} else {
+		for i := range l.smBands {
+			if i < len(sig.Bands) {
+				l.smBands[i] = (1-alpha)*l.smBands[i] + alpha*sig.Bands[i]
+			}
+		}
+		l.smLevel = (1-alpha)*l.smLevel + alpha*sig.Level
+	}
+	smoothed := profile.Signature{
+		Bands:  l.smBands,
+		Level:  l.smLevel,
+		Silent: l.smLevel < profile.SilenceFloor,
+	}
+	id, _ := l.classifier.Classify(smoothed)
+	if id == l.currentID {
+		l.pendingRun = 0
+		return
+	}
+	// Require two consecutive hops agreeing on the new profile before
+	// switching, so syllable-scale fluctuations do not thrash the cache.
+	if id != l.pendingID {
+		l.pendingID = id
+		l.pendingRun = 1
+		return
+	}
+	l.pendingRun++
+	if l.pendingRun < 2 {
+		return
+	}
+	// Imminent transition: cache the converged filter for the outgoing
+	// profile and preload the incoming one if we have seen it before.
+	l.cache.Store(l.currentID, l.w)
+	if cached := l.cache.Load(id); cached != nil {
+		copy(l.w, cached)
+	}
+	l.currentID = id
+	l.pendingRun = 0
+	l.switches++
+}

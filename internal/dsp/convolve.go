@@ -1,0 +1,131 @@
+package dsp
+
+// Convolve returns the full linear convolution of x and h
+// (length len(x)+len(h)-1). It picks the direct or FFT algorithm based on
+// the problem size.
+func Convolve(x, h []float64) []float64 {
+	if len(x) == 0 || len(h) == 0 {
+		return nil
+	}
+	// Direct convolution wins for short kernels; the crossover is broad,
+	// 64 is a safe, conservative pick for float64 on modern CPUs.
+	if len(h) <= 64 || len(x) <= 64 {
+		return convolveDirect(x, h)
+	}
+	return convolveFFT(x, h)
+}
+
+// ConvolveSame convolves x with h and returns only the first len(x)
+// samples — the causal "filtered signal" view used when h is an impulse
+// response applied to a stream.
+func ConvolveSame(x, h []float64) []float64 {
+	full := Convolve(x, h)
+	if len(full) > len(x) {
+		full = full[:len(x)]
+	}
+	return full
+}
+
+func convolveDirect(x, h []float64) []float64 {
+	out := make([]float64, len(x)+len(h)-1)
+	for i, xv := range x {
+		if xv == 0 {
+			continue
+		}
+		for j, hv := range h {
+			out[i+j] += xv * hv
+		}
+	}
+	return out
+}
+
+func convolveFFT(x, h []float64) []float64 {
+	outLen := len(x) + len(h) - 1
+	n := NextPow2(outLen)
+	X := FFTReal(x, n)
+	H := FFTReal(h, n)
+	for i := range X {
+		X[i] *= H[i]
+	}
+	out := IFFTReal(X)
+	return out[:outLen]
+}
+
+// CrossCorrelate returns the cross-correlation r[lag] = sum_t a[t]*b[t+lag]
+// for lag in [-(len(b)-1), len(a)-1], as a slice indexed by
+// lag + len(b) - 1. The zero-lag index is therefore len(b)-1.
+func CrossCorrelate(a, b []float64) []float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return nil
+	}
+	// r = conv(a, reverse(b)) gives exactly the lag layout documented above.
+	rb := make([]float64, len(b))
+	for i, v := range b {
+		rb[len(b)-1-i] = v
+	}
+	return Convolve(a, rb)
+}
+
+// StreamConvolver applies a fixed FIR impulse response to an unbounded
+// sample stream one sample at a time, maintaining internal history.
+// It models an acoustic or electrical channel in the sample-clock simulator.
+type StreamConvolver struct {
+	h    []float64
+	hist []float64 // circular history of inputs, len == len(h)
+	pos  int
+}
+
+// NewStreamConvolver builds a streaming convolver for impulse response h.
+// A nil or empty h behaves as a zero channel (output always 0).
+func NewStreamConvolver(h []float64) *StreamConvolver {
+	hc := make([]float64, len(h))
+	copy(hc, h)
+	return &StreamConvolver{h: hc, hist: make([]float64, len(h))}
+}
+
+// Process consumes one input sample and returns the convolved output sample.
+func (s *StreamConvolver) Process(x float64) float64 {
+	if len(s.h) == 0 {
+		return 0
+	}
+	s.hist[s.pos] = x
+	var acc float64
+	// hist[pos] is x[t]; hist[pos-1] is x[t-1], wrapping around.
+	idx := s.pos
+	for _, hv := range s.h {
+		acc += hv * s.hist[idx]
+		idx--
+		if idx < 0 {
+			idx = len(s.hist) - 1
+		}
+	}
+	s.pos++
+	if s.pos == len(s.hist) {
+		s.pos = 0
+	}
+	return acc
+}
+
+// ProcessBlock convolves a whole block, returning one output per input.
+func (s *StreamConvolver) ProcessBlock(x []float64) []float64 {
+	out := make([]float64, len(x))
+	for i, v := range x {
+		out[i] = s.Process(v)
+	}
+	return out
+}
+
+// Reset clears the convolver history.
+func (s *StreamConvolver) Reset() {
+	for i := range s.hist {
+		s.hist[i] = 0
+	}
+	s.pos = 0
+}
+
+// Taps returns a copy of the impulse response.
+func (s *StreamConvolver) Taps() []float64 {
+	out := make([]float64, len(s.h))
+	copy(out, s.h)
+	return out
+}

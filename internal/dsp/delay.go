@@ -1,0 +1,174 @@
+package dsp
+
+import "fmt"
+
+// DelayLine is a fixed-length integer-sample delay used to model acoustic
+// propagation, converter latency, and the deliberate delayed-line buffer the
+// paper uses to emulate shorter lookahead (Section 5.2, Figure 16).
+type DelayLine struct {
+	buf []float64
+	pos int
+}
+
+// NewDelayLine creates a delay of n samples (n >= 0). A zero-length delay
+// passes samples through unchanged.
+func NewDelayLine(n int) (*DelayLine, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("dsp: negative delay %d", n)
+	}
+	return &DelayLine{buf: make([]float64, n)}, nil
+}
+
+// MustDelayLine is NewDelayLine for compile-time-constant lengths.
+func MustDelayLine(n int) *DelayLine {
+	d, err := NewDelayLine(n)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Process pushes x and returns the sample delayed by the line length.
+func (d *DelayLine) Process(x float64) float64 {
+	if len(d.buf) == 0 {
+		return x
+	}
+	out := d.buf[d.pos]
+	d.buf[d.pos] = x
+	d.pos++
+	if d.pos == len(d.buf) {
+		d.pos = 0
+	}
+	return out
+}
+
+// Len returns the delay length in samples.
+func (d *DelayLine) Len() int { return len(d.buf) }
+
+// Reset zeroes the delay contents.
+func (d *DelayLine) Reset() {
+	for i := range d.buf {
+		d.buf[i] = 0
+	}
+	d.pos = 0
+}
+
+// FractionalDelayFIR returns an FIR approximation of a (possibly
+// non-integer) delay of d samples using 4-point Lagrange interpolation
+// around the integer part. The returned taps have length floor(d)+4 (or the
+// minimum needed), and applying them delays a signal by d samples with flat
+// response well below Nyquist. Used by the image-source room model, where
+// echo path lengths rarely land on sample boundaries.
+func FractionalDelayFIR(d float64) ([]float64, error) {
+	if d < 0 {
+		return nil, fmt.Errorf("dsp: negative fractional delay %g", d)
+	}
+	di := int(d)
+	frac := d - float64(di)
+	// Center the 4-tap Lagrange kernel so its group delay is 1+frac
+	// samples; shift the integer part accordingly.
+	base := di - 1
+	if base < 0 {
+		base = 0
+		// For d < 1 fall back to a 4-tap kernel anchored at 0 whose
+		// group delay is d exactly (Lagrange on points 0..3).
+		return lagrange4(d), nil
+	}
+	k := lagrange4(1 + frac)
+	taps := make([]float64, base+len(k))
+	copy(taps[base:], k)
+	return taps, nil
+}
+
+// lagrange4 returns the 4 Lagrange interpolation coefficients for a delay
+// of mu samples, mu in [0, 3].
+func lagrange4(mu float64) []float64 {
+	h := make([]float64, 4)
+	for n := 0; n < 4; n++ {
+		v := 1.0
+		for k := 0; k < 4; k++ {
+			if k == n {
+				continue
+			}
+			v *= (mu - float64(k)) / (float64(n) - float64(k))
+		}
+		h[n] = v
+	}
+	return h
+}
+
+// LookaheadBuffer exposes a sliding window over a sample stream with access
+// to samples that have been received (over RF) but whose acoustic wavefront
+// has not yet arrived. Index 0 is the "current" sample; positive indices
+// peek into the future up to the configured lookahead.
+//
+// This is the data structure that makes LANC's non-causal taps realizable:
+// the wireless channel delivers x(t+N) while the acoustic channel is still
+// delivering x(t).
+type LookaheadBuffer struct {
+	buf       []float64 // shift register: buf[history] is "current", last element is newest
+	lookahead int       // samples of future available
+	history   int       // samples of past retained
+	pushes    int       // total samples pushed, saturating at lookahead+1
+}
+
+// NewLookaheadBuffer creates a buffer retaining history past samples and
+// lookahead future samples around the current position.
+func NewLookaheadBuffer(history, lookahead int) (*LookaheadBuffer, error) {
+	if history < 0 || lookahead < 0 {
+		return nil, fmt.Errorf("dsp: negative buffer size (history=%d lookahead=%d)", history, lookahead)
+	}
+	return &LookaheadBuffer{
+		buf:       make([]float64, history+lookahead+1),
+		lookahead: lookahead,
+		history:   history,
+	}, nil
+}
+
+// Push inserts the newest (most future) sample and advances the current
+// position by one. Until lookahead+1 samples have been pushed, the current
+// sample and its history are still the zeros the buffer was primed with.
+func (l *LookaheadBuffer) Push(x float64) {
+	copy(l.buf, l.buf[1:])
+	l.buf[len(l.buf)-1] = x
+	if l.pushes <= l.lookahead {
+		l.pushes++
+	}
+}
+
+// Primed reports whether enough samples have been pushed that the current
+// position corresponds to real (non-zero-fill) data.
+func (l *LookaheadBuffer) Primed() bool { return l.pushes > l.lookahead }
+
+// At returns the sample at signed offset k from the current position:
+// k=0 is current, k>0 future (k <= Lookahead), k<0 past (−k <= History).
+// Offsets outside the window return 0.
+func (l *LookaheadBuffer) At(k int) float64 {
+	idx := l.history + k
+	if idx < 0 || idx >= len(l.buf) {
+		return 0
+	}
+	return l.buf[idx]
+}
+
+// Lookahead returns the number of future samples available.
+func (l *LookaheadBuffer) Lookahead() int { return l.lookahead }
+
+// History returns the number of past samples retained.
+func (l *LookaheadBuffer) History() int { return l.history }
+
+// Window copies the samples for offsets [-history, +lookahead] into dst
+// (which must have length history+lookahead+1), ordered oldest first.
+func (l *LookaheadBuffer) Window(dst []float64) {
+	for i := range dst {
+		dst[i] = l.At(i - l.history)
+	}
+}
+
+// Reset clears the buffer contents and priming state.
+func (l *LookaheadBuffer) Reset() {
+	for i := range l.buf {
+		l.buf[i] = 0
+	}
+	l.pushes = 0
+}

@@ -1,0 +1,168 @@
+package dsp
+
+import (
+	"math"
+	"math/cmplx"
+)
+
+// FFT computes the in-place-free discrete Fourier transform of x.
+// Power-of-two lengths use an iterative radix-2 Cooley-Tukey kernel;
+// all other lengths fall back to Bluestein's chirp-z algorithm, so any
+// N >= 1 is supported. The input slice is not modified.
+func FFT(x []complex128) []complex128 {
+	n := len(x)
+	if n == 0 {
+		return nil
+	}
+	if IsPow2(n) {
+		out := make([]complex128, n)
+		copy(out, x)
+		fftRadix2(out, false)
+		return out
+	}
+	return bluestein(x, false)
+}
+
+// IFFT computes the inverse DFT of x with 1/N normalization.
+func IFFT(x []complex128) []complex128 {
+	n := len(x)
+	if n == 0 {
+		return nil
+	}
+	var out []complex128
+	if IsPow2(n) {
+		out = make([]complex128, n)
+		copy(out, x)
+		fftRadix2(out, true)
+	} else {
+		out = bluestein(x, true)
+	}
+	inv := complex(1/float64(n), 0)
+	for i := range out {
+		out[i] *= inv
+	}
+	return out
+}
+
+// FFTReal computes the DFT of a real signal, returning the full complex
+// spectrum of length len(x) (zero-padded to n if n > len(x)).
+func FFTReal(x []float64, n int) []complex128 {
+	if n < len(x) {
+		n = len(x)
+	}
+	cx := make([]complex128, n)
+	for i, v := range x {
+		cx[i] = complex(v, 0)
+	}
+	if IsPow2(n) {
+		fftRadix2(cx, false)
+		return cx
+	}
+	return bluestein(cx, false)
+}
+
+// IFFTReal computes the inverse DFT of spectrum X and returns the real part.
+// It is intended for spectra of real signals (conjugate-symmetric).
+func IFFTReal(X []complex128) []float64 {
+	t := IFFT(X)
+	out := make([]float64, len(t))
+	for i, v := range t {
+		out[i] = real(v)
+	}
+	return out
+}
+
+// fftRadix2 computes an in-place iterative radix-2 FFT. len(a) must be a
+// power of two. If inverse is true the conjugate transform is computed
+// (without the 1/N factor).
+func fftRadix2(a []complex128, inverse bool) {
+	n := len(a)
+	if n <= 1 {
+		return
+	}
+	// Bit-reversal permutation.
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j ^= bit
+		if i < j {
+			a[i], a[j] = a[j], a[i]
+		}
+	}
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for length := 2; length <= n; length <<= 1 {
+		ang := sign * 2 * math.Pi / float64(length)
+		wl := cmplx.Rect(1, ang)
+		half := length >> 1
+		for start := 0; start < n; start += length {
+			w := complex(1, 0)
+			for k := 0; k < half; k++ {
+				u := a[start+k]
+				v := a[start+k+half] * w
+				a[start+k] = u + v
+				a[start+k+half] = u - v
+				w *= wl
+			}
+		}
+	}
+}
+
+// bluestein evaluates an arbitrary-length DFT as a convolution, enabling
+// FFTs for any N via the radix-2 kernel.
+func bluestein(x []complex128, inverse bool) []complex128 {
+	n := len(x)
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	// Chirp w[k] = exp(sign * i*pi*k^2/n).
+	w := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		// k^2 mod 2n avoids precision loss for large k.
+		k2 := (int64(k) * int64(k)) % (2 * int64(n))
+		w[k] = cmplx.Rect(1, sign*math.Pi*float64(k2)/float64(n))
+	}
+	m := NextPow2(2*n - 1)
+	a := make([]complex128, m)
+	b := make([]complex128, m)
+	for k := 0; k < n; k++ {
+		a[k] = x[k] * w[k]
+		b[k] = cmplx.Conj(w[k])
+	}
+	for k := 1; k < n; k++ {
+		b[m-k] = cmplx.Conj(w[k])
+	}
+	fftRadix2(a, false)
+	fftRadix2(b, false)
+	for i := range a {
+		a[i] *= b[i]
+	}
+	fftRadix2(a, true)
+	invM := complex(1/float64(m), 0)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		out[k] = a[k] * invM * w[k]
+	}
+	return out
+}
+
+// Spectrum returns the one-sided magnitude spectrum of x (length n/2+1 for
+// an n-point transform) along with the frequency of each bin for the given
+// sample rate.
+func Spectrum(x []float64, sampleRate float64) (mags, freqs []float64) {
+	n := NextPow2(len(x))
+	X := FFTReal(x, n)
+	half := n/2 + 1
+	mags = make([]float64, half)
+	freqs = make([]float64, half)
+	for k := 0; k < half; k++ {
+		mags[k] = cmplx.Abs(X[k]) / float64(n)
+		freqs[k] = float64(k) * sampleRate / float64(n)
+	}
+	return mags, freqs
+}

@@ -1,0 +1,128 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Sinc returns sin(pi x)/(pi x), with Sinc(0) == 1.
+func Sinc(x float64) float64 {
+	if x == 0 {
+		return 1
+	}
+	px := math.Pi * x
+	return math.Sin(px) / px
+}
+
+// LowPassFIR designs a windowed-sinc low-pass FIR filter with the given
+// cutoff frequency (Hz), sample rate (Hz), and odd tap count. The filter has
+// unit DC gain and linear phase with delay (taps-1)/2 samples.
+func LowPassFIR(cutoffHz, sampleRate float64, taps int, w Window) ([]float64, error) {
+	if err := validateFIRArgs(cutoffHz, sampleRate, taps); err != nil {
+		return nil, err
+	}
+	fc := cutoffHz / sampleRate // normalized cutoff in cycles/sample
+	m := taps - 1
+	h := make([]float64, taps)
+	for i := 0; i < taps; i++ {
+		h[i] = 2 * fc * Sinc(2*fc*(float64(i)-float64(m)/2))
+	}
+	w.Apply(h)
+	// Normalize DC gain to exactly 1.
+	var sum float64
+	for _, v := range h {
+		sum += v
+	}
+	if sum != 0 {
+		Scale(h, 1/sum)
+	}
+	return h, nil
+}
+
+// HighPassFIR designs a windowed-sinc high-pass FIR filter by spectral
+// inversion of the corresponding low-pass. taps must be odd.
+func HighPassFIR(cutoffHz, sampleRate float64, taps int, w Window) ([]float64, error) {
+	if taps%2 == 0 {
+		return nil, fmt.Errorf("dsp: high-pass FIR requires odd taps, got %d", taps)
+	}
+	lp, err := LowPassFIR(cutoffHz, sampleRate, taps, w)
+	if err != nil {
+		return nil, err
+	}
+	for i := range lp {
+		lp[i] = -lp[i]
+	}
+	lp[(taps-1)/2] += 1
+	return lp, nil
+}
+
+// BandPassFIR designs a windowed-sinc band-pass FIR filter passing
+// [lowHz, highHz]. taps must be odd.
+func BandPassFIR(lowHz, highHz, sampleRate float64, taps int, w Window) ([]float64, error) {
+	if lowHz >= highHz {
+		return nil, fmt.Errorf("dsp: band-pass requires low < high, got [%g, %g]", lowHz, highHz)
+	}
+	if taps%2 == 0 {
+		return nil, fmt.Errorf("dsp: band-pass FIR requires odd taps, got %d", taps)
+	}
+	hp, err := LowPassFIR(highHz, sampleRate, taps, w)
+	if err != nil {
+		return nil, err
+	}
+	lp, err := LowPassFIR(lowHz, sampleRate, taps, w)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, taps)
+	for i := range out {
+		out[i] = hp[i] - lp[i]
+	}
+	return out, nil
+}
+
+func validateFIRArgs(cutoffHz, sampleRate float64, taps int) error {
+	if sampleRate <= 0 {
+		return fmt.Errorf("dsp: sample rate must be positive, got %g", sampleRate)
+	}
+	if cutoffHz <= 0 || cutoffHz >= sampleRate/2 {
+		return fmt.Errorf("dsp: cutoff %g Hz outside (0, %g)", cutoffHz, sampleRate/2)
+	}
+	if taps < 3 {
+		return fmt.Errorf("dsp: need at least 3 taps, got %d", taps)
+	}
+	return nil
+}
+
+// FIRFilter is a streaming direct-form FIR filter.
+type FIRFilter struct {
+	conv *StreamConvolver
+}
+
+// NewFIRFilter wraps taps h in a streaming filter.
+func NewFIRFilter(h []float64) *FIRFilter {
+	return &FIRFilter{conv: NewStreamConvolver(h)}
+}
+
+// Process filters one sample.
+func (f *FIRFilter) Process(x float64) float64 { return f.conv.Process(x) }
+
+// ProcessBlock filters a block of samples.
+func (f *FIRFilter) ProcessBlock(x []float64) []float64 { return f.conv.ProcessBlock(x) }
+
+// Reset clears filter state.
+func (f *FIRFilter) Reset() { f.conv.Reset() }
+
+// Taps returns a copy of the filter taps.
+func (f *FIRFilter) Taps() []float64 { return f.conv.Taps() }
+
+// FrequencyResponse evaluates the magnitude response of FIR taps h at
+// frequency fHz for the given sample rate.
+func FrequencyResponse(h []float64, fHz, sampleRate float64) float64 {
+	omega := 2 * math.Pi * fHz / sampleRate
+	var re, im float64
+	for n, v := range h {
+		re += v * math.Cos(omega*float64(n))
+		im -= v * math.Sin(omega*float64(n))
+	}
+	return math.Hypot(re, im)
+}

@@ -1,0 +1,42 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+)
+
+// FIRFromMagnitude designs a linear-phase FIR filter whose magnitude
+// response approximates mag(f) for f in [0, sampleRate/2], using the
+// frequency-sampling method with a Hann window. taps must be odd. It is
+// used to model measured transducer and passive-isolation curves (the
+// paper's Figure 13 response and the ear-cup attenuation of Bose_Overall).
+func FIRFromMagnitude(mag func(fHz float64) float64, sampleRate float64, taps int) ([]float64, error) {
+	if sampleRate <= 0 {
+		return nil, fmt.Errorf("dsp: sample rate %g must be positive", sampleRate)
+	}
+	if taps < 3 || taps%2 == 0 {
+		return nil, fmt.Errorf("dsp: taps must be odd and >= 3, got %d", taps)
+	}
+	n := NextPow2(taps * 4)
+	half := n / 2
+	// Desired spectrum: linear phase corresponding to (taps-1)/2 delay.
+	delay := float64(taps-1) / 2
+	X := make([]complex128, n)
+	for k := 0; k <= half; k++ {
+		f := float64(k) * sampleRate / float64(n)
+		m := mag(f)
+		if m < 0 {
+			m = 0
+		}
+		phase := -2 * math.Pi * float64(k) * delay / float64(n)
+		X[k] = complex(m*math.Cos(phase), m*math.Sin(phase))
+		if k != 0 && k != half {
+			X[n-k] = complex(real(X[k]), -imag(X[k]))
+		}
+	}
+	h := IFFTReal(X)
+	out := make([]float64, taps)
+	copy(out, h[:taps])
+	Hann.Apply(out)
+	return out, nil
+}

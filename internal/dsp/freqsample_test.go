@@ -1,0 +1,68 @@
+package dsp
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFIRFromMagnitudeLowPassShape(t *testing.T) {
+	fs := 8000.0
+	mag := func(f float64) float64 {
+		if f < 1000 {
+			return 1
+		}
+		return 0.1
+	}
+	h, err := FIRFromMagnitude(mag, fs, 129)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := FrequencyResponse(h, 300, fs); math.Abs(g-1) > 0.15 {
+		t.Errorf("passband gain = %g, want ~1", g)
+	}
+	if g := FrequencyResponse(h, 3000, fs); math.Abs(g-0.1) > 0.08 {
+		t.Errorf("stopband gain = %g, want ~0.1", g)
+	}
+}
+
+func TestFIRFromMagnitudeSlopedCurve(t *testing.T) {
+	// A smoothly rising attenuation (passive-isolation style):
+	// 1.0 at DC falling to 0.1 at 4 kHz.
+	fs := 8000.0
+	mag := func(f float64) float64 { return 1 - 0.9*f/4000 }
+	h, err := FIRFromMagnitude(mag, fs, 201)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []float64{500, 1500, 2500, 3500} {
+		want := mag(f)
+		got := FrequencyResponse(h, f, fs)
+		if math.Abs(got-want) > 0.1 {
+			t.Errorf("at %g Hz: gain %g, want %g", f, got, want)
+		}
+	}
+}
+
+func TestFIRFromMagnitudeErrors(t *testing.T) {
+	mag := func(f float64) float64 { return 1 }
+	if _, err := FIRFromMagnitude(mag, 0, 33); err == nil {
+		t.Error("zero rate should error")
+	}
+	if _, err := FIRFromMagnitude(mag, 8000, 32); err == nil {
+		t.Error("even taps should error")
+	}
+	if _, err := FIRFromMagnitude(mag, 8000, 1); err == nil {
+		t.Error("too few taps should error")
+	}
+}
+
+func TestFIRFromMagnitudeClampsNegative(t *testing.T) {
+	mag := func(f float64) float64 { return -1 }
+	h, err := FIRFromMagnitude(mag, 8000, 65)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := FrequencyResponse(h, 1000, 8000); g > 1e-6 {
+		t.Errorf("negative magnitudes should clamp to 0, got gain %g", g)
+	}
+}

@@ -1,0 +1,70 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Resample converts x from srcRate to dstRate using windowed-sinc
+// interpolation. It is used when feeding 48 kHz-style generator output into
+// the 8 kHz DSP pipeline the paper's TMS320C6713 board imposes.
+func Resample(x []float64, srcRate, dstRate float64) ([]float64, error) {
+	if srcRate <= 0 || dstRate <= 0 {
+		return nil, fmt.Errorf("dsp: sample rates must be positive (src=%g dst=%g)", srcRate, dstRate)
+	}
+	if len(x) == 0 {
+		return nil, nil
+	}
+	if srcRate == dstRate {
+		out := make([]float64, len(x))
+		copy(out, x)
+		return out, nil
+	}
+	ratio := dstRate / srcRate
+	outLen := int(float64(len(x)) * ratio)
+	if outLen == 0 {
+		outLen = 1
+	}
+	// Anti-alias when downsampling: cutoff at the lower Nyquist.
+	src := x
+	if dstRate < srcRate {
+		lp, err := LowPassFIR(0.45*dstRate, srcRate, 63, Blackman)
+		if err != nil {
+			return nil, err
+		}
+		src = ConvolveSame(x, lp)
+		// Compensate the linear-phase group delay of the filter.
+		gd := 31
+		shifted := make([]float64, len(src))
+		copy(shifted, src[min(gd, len(src)):])
+		src = shifted
+	}
+	const halfWidth = 16
+	out := make([]float64, outLen)
+	for i := range out {
+		t := float64(i) / ratio // position in source samples
+		center := int(t)
+		var acc, wsum float64
+		for k := center - halfWidth; k <= center+halfWidth+1; k++ {
+			if k < 0 || k >= len(src) {
+				continue
+			}
+			d := t - float64(k)
+			// Hann-windowed sinc kernel.
+			u := d / float64(halfWidth+1)
+			if u > 1 {
+				u = 1
+			} else if u < -1 {
+				u = -1
+			}
+			wk := 0.5 + 0.5*math.Cos(math.Pi*u)
+			v := Sinc(d) * wk
+			acc += src[k] * v
+			wsum += v
+		}
+		if wsum != 0 {
+			out[i] = acc
+		}
+	}
+	return out, nil
+}

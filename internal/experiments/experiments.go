@@ -1,0 +1,131 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section 5). Each Fig* function runs the corresponding
+// experiment on the simulator and returns structured series that
+// cmd/mutebench renders as tables/CSV and that the root benchmark suite
+// wraps as testing.B benchmarks.
+//
+// Absolute decibel values differ from the paper (our substrate is a room
+// simulator, not the authors' testbed); the assertions that matter are the
+// shapes: who wins, in which band, and how trends move with lookahead.
+package experiments
+
+import (
+	"fmt"
+
+	"mute/internal/audio"
+	"mute/internal/metrics"
+	"mute/internal/sim"
+)
+
+// Series is one labeled curve or row group of a figure.
+type Series struct {
+	// Name labels the curve (e.g. "MUTE_Hollow").
+	Name string
+	// X holds the independent variable (frequency in Hz, user ID, ...).
+	X []float64
+	// Y holds the measured values (cancellation dB, rating stars, ...).
+	Y []float64
+}
+
+// Figure is a regenerated experiment result.
+type Figure struct {
+	// ID is the paper's figure number, e.g. "fig12".
+	ID string
+	// Title describes the experiment.
+	Title string
+	// XLabel and YLabel name the axes.
+	XLabel, YLabel string
+	// Series holds the curves in plot order.
+	Series []Series
+	// Notes carries derived headline numbers (e.g. band averages).
+	Notes []string
+}
+
+// Config carries the common experiment knobs.
+type Config struct {
+	// SampleRate is the DSP rate (default 8000).
+	SampleRate float64
+	// Duration is the simulated seconds per run (default 12).
+	Duration float64
+	// Seed drives all randomness.
+	Seed uint64
+	// UseFMLink routes reference audio through the full FM chain.
+	UseFMLink bool
+	// NoiseAmp is the source amplitude (default 0.5).
+	NoiseAmp float64
+	// Bands is the number of spectrum points reported (default 32).
+	Bands int
+}
+
+// Defaults fills unset fields.
+func (c Config) Defaults() Config {
+	if c.SampleRate == 0 {
+		c.SampleRate = 8000
+	}
+	if c.Duration == 0 {
+		c.Duration = 12
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.NoiseAmp == 0 {
+		c.NoiseAmp = 0.5
+	}
+	if c.Bands == 0 {
+		c.Bands = 32
+	}
+	return c
+}
+
+// runScheme simulates one scheme on a fresh generator built by gen.
+func runScheme(c Config, scheme sim.Scheme, gen func() audio.Generator, mutate func(*sim.Params)) (*sim.Result, error) {
+	p := sim.DefaultParams(sim.DefaultScene(gen()))
+	p.Duration = c.Duration
+	p.UseFMLink = c.UseFMLink
+	p.Seed = c.Seed
+	if mutate != nil {
+		mutate(&p)
+	}
+	return sim.Run(p, scheme)
+}
+
+// spectrumSeries converts a result into a banded cancellation curve.
+func spectrumSeries(name string, r *sim.Result, bands int) (Series, error) {
+	cs, err := metrics.NewCancellationSpectrum(
+		sim.SteadyState(r.Open), sim.SteadyState(r.On), r.SampleRate, 1024)
+	if err != nil {
+		return Series{}, err
+	}
+	x, y := cs.BandTable(bands, r.SampleRate/2)
+	return Series{Name: name, X: x, Y: y}, nil
+}
+
+// activeSeries converts a result into the active-only (On vs Off) curve —
+// the Bose_Active quantity.
+func activeSeries(name string, r *sim.Result, bands int) (Series, error) {
+	cs, err := metrics.NewCancellationSpectrum(
+		sim.SteadyState(r.Off), sim.SteadyState(r.On), r.SampleRate, 1024)
+	if err != nil {
+		return Series{}, err
+	}
+	x, y := cs.BandTable(bands, r.SampleRate/2)
+	return Series{Name: name, X: x, Y: y}, nil
+}
+
+// bandAvg averages a series over [lo, hi] on the X axis.
+func bandAvg(s Series, lo, hi float64) float64 {
+	var sum float64
+	var n int
+	for i, x := range s.X {
+		if x >= lo && x < hi {
+			sum += s.Y[i]
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+func note(format string, args ...any) string { return fmt.Sprintf(format, args...) }

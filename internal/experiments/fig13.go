@@ -1,0 +1,33 @@
+package experiments
+
+import "mute/internal/sim"
+
+// Fig13 reproduces the combined frequency response of the cheap anti-noise
+// speaker and microphone (Figure 13): weak below ~100 Hz — the reason the
+// paper's prototype loses cancellation at very low frequency — and rolling
+// off toward Nyquist.
+func Fig13(c Config) (*Figure, error) {
+	c = c.Defaults()
+	tr, err := sim.NewTransducer(c.SampleRate)
+	if err != nil {
+		return nil, err
+	}
+	fig := &Figure{
+		ID:     "fig13",
+		Title:  "Combined anti-noise speaker + microphone frequency response",
+		XLabel: "Frequency (Hz)",
+		YLabel: "Response (linear)",
+	}
+	s := Series{Name: "Frequency Response"}
+	step := c.SampleRate / 2 / float64(c.Bands*2)
+	for f := step; f < c.SampleRate/2; f += step {
+		s.X = append(s.X, f)
+		s.Y = append(s.Y, tr.Response(f, c.SampleRate))
+	}
+	fig.Series = []Series{s}
+	lo := tr.Response(60, c.SampleRate)
+	mid := tr.Response(1000, c.SampleRate)
+	fig.Notes = append(fig.Notes,
+		note("response at 60 Hz = %.3f vs 1 kHz = %.3f (weak low-frequency response, as in the paper)", lo, mid))
+	return fig, nil
+}

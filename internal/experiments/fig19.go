@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"mute/internal/acoustics"
+	"mute/internal/audio"
+	"mute/internal/dsp"
+	"mute/internal/relaysel"
+)
+
+// Fig19 reproduces the multi-relay selection map (Figure 19): three relays
+// on the room's edges, the MUTE client at the center, and a grid of noise
+// source positions. For each position the client must pick the relay
+// offering maximum positive lookahead — the relay nearest the source —
+// or no relay at all when the source is closest to the client itself.
+func Fig19(c Config) (*Figure, error) {
+	c = c.Defaults()
+	room := acoustics.DefaultRoom()
+	client := acoustics.Point{X: 2.5, Y: 2.0, Z: 1.2}
+	relays := []acoustics.Point{
+		{X: 0.4, Y: 2.0, Z: 1.5}, // relay 1: west wall
+		{X: 2.5, Y: 3.6, Z: 1.5}, // relay 2: north wall
+		{X: 4.6, Y: 0.4, Z: 1.5}, // relay 3: southeast corner
+	}
+	fs := c.SampleRate
+	n := int(1.5 * fs)
+	maxLag := int(0.012 * fs)
+
+	// Source grid: positions around the room perimeter region.
+	var sources []acoustics.Point
+	for _, x := range []float64{0.7, 1.6, 2.5, 3.4, 4.3} {
+		for _, y := range []float64{0.7, 2.0, 3.3} {
+			sources = append(sources, acoustics.Point{X: x, Y: y, Z: 1.4})
+		}
+	}
+
+	fig := &Figure{
+		ID:     "fig19",
+		Title:  "Relay selection vs noise source position (3 relays, client center)",
+		XLabel: "Source index",
+		YLabel: "Selected relay (0 = none)",
+	}
+	expectSeries := Series{Name: "Expected"}
+	gotSeries := Series{Name: "Selected"}
+	correct := 0
+	for i, srcPos := range sources {
+		wave := audio.Render(audio.NewWhiteNoise(c.Seed+uint64(i), fs, c.NoiseAmp), n)
+		// Local signal at the client.
+		hLocal, err := room.ImpulseResponse(srcPos, client, fs)
+		if err != nil {
+			return nil, err
+		}
+		local := dsp.ConvolveSame(wave, hLocal)
+		// Forwarded signal per relay.
+		var forwarded [][]float64
+		for _, rp := range relays {
+			h, err := room.ImpulseResponse(srcPos, rp, fs)
+			if err != nil {
+				return nil, err
+			}
+			forwarded = append(forwarded, dsp.ConvolveSame(wave, h))
+		}
+		sel, err := relaysel.SelectRelay(forwarded, local, maxLag, 1, 0.05)
+		if err != nil {
+			return nil, err
+		}
+		// Ground truth: the nearest relay if it beats the client's own
+		// distance, else none.
+		expected := -1
+		bestDist := srcPos.Dist(client)
+		for ri, rp := range relays {
+			if d := srcPos.Dist(rp); d < bestDist {
+				bestDist = d
+				expected = ri
+			}
+		}
+		if sel.Best == expected {
+			correct++
+		}
+		expectSeries.X = append(expectSeries.X, float64(i))
+		expectSeries.Y = append(expectSeries.Y, float64(expected+1))
+		gotSeries.X = append(gotSeries.X, float64(i))
+		gotSeries.Y = append(gotSeries.Y, float64(sel.Best+1))
+	}
+	fig.Series = []Series{expectSeries, gotSeries}
+	fig.Notes = append(fig.Notes,
+		note("correct relay association in %d/%d source positions (paper: consistent selection, no relay when source nearest the client)",
+			correct, len(sources)))
+	return fig, nil
+}

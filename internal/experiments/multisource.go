@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"mute/internal/acoustics"
+	"mute/internal/audio"
+	"mute/internal/sim"
+)
+
+// MultiSource implements and measures the paper's Section 6 multi-source
+// direction: two independent wide-band sources play simultaneously from
+// different positions. A single relay/reference cannot cancel the mixture;
+// one relay per source with a multi-reference LANC can.
+func MultiSource(c Config) (*Figure, error) {
+	c = c.Defaults()
+	makeScene := func() sim.Scene {
+		scene := sim.DefaultScene(audio.NewWhiteNoise(c.Seed, c.SampleRate, c.NoiseAmp*0.8))
+		scene.Sources = append(scene.Sources, sim.Source{
+			Pos: acoustics.Point{X: 1.0, Y: 3.5, Z: 1.5},
+			Gen: audio.NewWhiteNoise(c.Seed+100, c.SampleRate, c.NoiseAmp*0.8),
+		})
+		return scene
+	}
+	fig := &Figure{
+		ID:     "multisource",
+		Title:  "Two simultaneous noise sources: single vs multi-reference LANC",
+		XLabel: "Configuration (0 = single relay, 1 = relay per source)",
+		YLabel: "Full-band cancellation (dB)",
+	}
+	base := sim.DefaultParams(makeScene())
+	base.Duration = c.Duration
+	base.Seed = c.Seed
+	single, err := sim.Run(base, sim.MUTEHollow)
+	if err != nil {
+		return nil, err
+	}
+	sdb, err := single.CancellationDB(50, 4000)
+	if err != nil {
+		return nil, err
+	}
+	base2 := sim.DefaultParams(makeScene())
+	base2.Duration = c.Duration
+	base2.Seed = c.Seed
+	multi, err := sim.RunMultiRelay(sim.MultiRelayParams{
+		Base: base2,
+		RelayPositions: []acoustics.Point{
+			{X: 1.0, Y: 2.0, Z: 1.5},
+			{X: 1.2, Y: 3.3, Z: 1.5},
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	mdb, err := multi.CancellationDB(50, 4000)
+	if err != nil {
+		return nil, err
+	}
+	fig.Series = []Series{{Name: "Cancellation", X: []float64{0, 1}, Y: []float64{sdb, mdb}}}
+	fig.Notes = append(fig.Notes,
+		note("single reference %.1f dB vs multi-reference %.1f dB on two simultaneous sources (paper: future work, 'one microphone for each noise channel')", sdb, mdb))
+	return fig, nil
+}

@@ -1,0 +1,33 @@
+package experiments
+
+import (
+	"mute/internal/acoustics"
+)
+
+// LookaheadTable regenerates the Equation 4 illustration: lookahead time
+// as a function of the distance gap (d_e − d_r) between the ear and the
+// relay, including the paper's headline "1 m ≈ 3 ms, 100× today's
+// headphones" data point.
+func LookaheadTable(c Config) (*Figure, error) {
+	c = c.Defaults()
+	fig := &Figure{
+		ID:     "lookahead",
+		Title:  "Lookahead vs relay placement (Equation 4)",
+		XLabel: "d_e - d_r (m)",
+		YLabel: "Lookahead (ms)",
+	}
+	s := Series{Name: "Lookahead"}
+	for _, gap := range []float64{0.25, 0.5, 1, 2, 3, 5} {
+		source := acoustics.Point{}
+		relay := acoustics.Point{X: 1}
+		ear := acoustics.Point{X: 1 + gap}
+		la := acoustics.Lookahead(source, relay, ear) * 1000
+		s.X = append(s.X, gap)
+		s.Y = append(s.Y, la)
+	}
+	fig.Series = []Series{s}
+	oneMeter := acoustics.Lookahead(acoustics.Point{}, acoustics.Point{X: 1}, acoustics.Point{X: 2}) * 1000
+	fig.Notes = append(fig.Notes,
+		note("1 m gap = %.2f ms lookahead (paper: ≈3 ms, \"100× larger than today's ANC headphones\")", oneMeter))
+	return fig, nil
+}

@@ -1,0 +1,174 @@
+// Package headphone models the conventional ANC headphone the paper
+// compares against (the Bose QC35 in Section 5): a feedforward FxLMS
+// canceller whose reference microphone sits on the ear cup — microseconds
+// of lookahead, so its anti-noise reaches the speaker late — plus the
+// passive sound-absorbing ear cup that supplies most of the attenuation
+// above 1 kHz.
+//
+// The model encodes exactly the two limitations the paper attributes to
+// commercial headphones: (1) the missed timing deadline of Figure 5(a),
+// modeled as an output pipeline delay the causal filter cannot compensate
+// for broadband sound, and (2) causal-only filtering, which cannot realize
+// the non-causal inverse channel. Its strengths are also retained: clean
+// microphones (negligible self-noise) and a deliberately band-limited
+// anti-noise path that keeps the adaptation stable at low frequency.
+package headphone
+
+import (
+	"fmt"
+
+	"mute/internal/anc"
+	"mute/internal/dsp"
+)
+
+// Config parameterizes the conventional headphone baseline.
+type Config struct {
+	// SampleRate of the processing pipeline in Hz.
+	SampleRate float64
+	// Taps is the causal adaptive-filter length.
+	Taps int
+	// Mu is the LMS step size.
+	Mu float64
+	// PipelineDelaySamples is how many samples late the anti-noise
+	// reaches the speaker relative to the reference capture — the missed
+	// deadline. At 8 kHz, 1 sample = 125 µs, about 4× the 30 µs budget
+	// the paper quotes.
+	PipelineDelaySamples int
+	// AntiNoiseCutoffHz band-limits the anti-noise path; commercial ANC
+	// deliberately cancels only below ~1 kHz (Section 1).
+	AntiNoiseCutoffHz float64
+	// SecondaryPath is the ĥ_se estimate for the filtered-x update.
+	SecondaryPath []float64
+}
+
+// DefaultConfig returns the QC35-like baseline at the given sample rate.
+func DefaultConfig(sampleRate float64, secondaryPath []float64) Config {
+	return Config{
+		SampleRate:           sampleRate,
+		Taps:                 64,
+		Mu:                   0.05,
+		PipelineDelaySamples: 1,
+		AntiNoiseCutoffHz:    1000,
+		SecondaryPath:        secondaryPath,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.SampleRate <= 0 {
+		return fmt.Errorf("headphone: sample rate %g must be positive", c.SampleRate)
+	}
+	if c.Taps <= 0 {
+		return fmt.Errorf("headphone: taps must be positive, got %d", c.Taps)
+	}
+	if c.Mu <= 0 {
+		return fmt.Errorf("headphone: mu must be positive, got %g", c.Mu)
+	}
+	if c.PipelineDelaySamples < 0 {
+		return fmt.Errorf("headphone: negative pipeline delay %d", c.PipelineDelaySamples)
+	}
+	if c.AntiNoiseCutoffHz <= 0 || c.AntiNoiseCutoffHz >= c.SampleRate/2 {
+		return fmt.Errorf("headphone: anti-noise cutoff %g outside (0, %g)", c.AntiNoiseCutoffHz, c.SampleRate/2)
+	}
+	if len(c.SecondaryPath) == 0 {
+		return fmt.Errorf("headphone: missing secondary path estimate")
+	}
+	return nil
+}
+
+// ANC is the conventional active canceller.
+type ANC struct {
+	cfg   Config
+	fx    *anc.FxLMS
+	delay *dsp.DelayLine
+	bandl *dsp.Biquad
+}
+
+// NewANC builds the baseline canceller.
+func NewANC(cfg Config) (*ANC, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	lp, err := dsp.NewLowPassBiquad(cfg.AntiNoiseCutoffHz, cfg.SampleRate, 0.7071)
+	if err != nil {
+		return nil, err
+	}
+	// The filtered-x path must model everything between the filter output
+	// and the error microphone — including the headphone's own known
+	// pipeline delay and band-limiting — or the LMS update develops a
+	// phase error and diverges. The manufacturer knows its hardware, so
+	// the baseline gets the same courtesy: ĥ_eff = δ_D ∗ h_LP ∗ ĥ_se.
+	lpIR := make([]float64, 32)
+	probe := lp.ProcessBlock(append([]float64{1}, make([]float64, 31)...))
+	copy(lpIR, probe)
+	lp.Reset()
+	effSec := dsp.Convolve(lpIR, cfg.SecondaryPath)
+	if cfg.PipelineDelaySamples > 0 {
+		delta := make([]float64, cfg.PipelineDelaySamples+1)
+		delta[cfg.PipelineDelaySamples] = 1
+		effSec = dsp.Convolve(delta, effSec)
+	}
+	fx, err := anc.NewFxLMS(anc.LMSConfig{
+		Taps:       cfg.Taps,
+		Mu:         cfg.Mu,
+		Normalized: true,
+		Leak:       0.001,
+	}, effSec)
+	if err != nil {
+		return nil, err
+	}
+	delay, err := dsp.NewDelayLine(cfg.PipelineDelaySamples)
+	if err != nil {
+		return nil, err
+	}
+	return &ANC{cfg: cfg, fx: fx, delay: delay, bandl: lp}, nil
+}
+
+// Step advances one sample period: the reference microphone hears x(t),
+// the filter computes anti-noise which emerges from the speaker
+// PipelineDelaySamples late and band-limited, and the previous residual
+// error drives adaptation. It returns the anti-noise sample leaving the
+// speaker now.
+func (h *ANC) Step(x, ePrev float64) float64 {
+	h.fx.Adapt(ePrev)
+	h.fx.Push(x)
+	a := h.fx.AntiNoise()
+	a = h.bandl.Process(a)
+	return h.delay.Process(a)
+}
+
+// Reset clears all state.
+func (h *ANC) Reset() {
+	h.fx.Reset()
+	h.delay.Reset()
+	h.bandl.Reset()
+}
+
+// PassiveIsolation models the headphone's sound-absorbing ear cup as a
+// causal, minimum-phase FIR (derived from a shelf-filter cascade): nearly
+// transparent at very low frequency, strongly attenuating toward 4 kHz,
+// shaped after published over-ear passive attenuation measurements. A
+// physical cup cannot anticipate sound, so minimum phase — essentially
+// zero group delay — is the honest model; a linear-phase design would hand
+// whichever algorithm sits under the cup tens of samples of spurious
+// lookahead.
+func PassiveIsolation(sampleRate float64, taps int) ([]float64, error) {
+	if taps < 8 {
+		return nil, fmt.Errorf("headphone: passive FIR needs >= 8 taps, got %d", taps)
+	}
+	s1, err := dsp.NewHighShelfBiquad(800, sampleRate, 0.6, -12)
+	if err != nil {
+		return nil, fmt.Errorf("headphone: passive shelf 1: %w", err)
+	}
+	s2, err := dsp.NewHighShelfBiquad(2500, sampleRate, 0.6, -10)
+	if err != nil {
+		return nil, fmt.Errorf("headphone: passive shelf 2: %w", err)
+	}
+	chain := dsp.NewBiquadChain(s1, s2)
+	in := make([]float64, taps)
+	in[0] = dsp.FromDB(-2.0 / 2) // broadband seal leakage: -2 dB
+	return chain.ProcessBlock(in), nil
+}
+
+// DefaultPassiveTaps is the default passive-isolation FIR length.
+const DefaultPassiveTaps = 65

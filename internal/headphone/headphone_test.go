@@ -1,0 +1,153 @@
+package headphone
+
+import (
+	"math"
+	"testing"
+
+	"mute/internal/audio"
+	"mute/internal/dsp"
+)
+
+const fs = 8000.0
+
+var secPath = []float64{0.8, 0.25, 0.05}
+
+func TestConfigValidate(t *testing.T) {
+	good := DefaultConfig(fs, secPath)
+	if err := good.Validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+	mut := func(f func(*Config)) Config {
+		c := DefaultConfig(fs, secPath)
+		f(&c)
+		return c
+	}
+	bad := []Config{
+		mut(func(c *Config) { c.SampleRate = 0 }),
+		mut(func(c *Config) { c.Taps = 0 }),
+		mut(func(c *Config) { c.Mu = 0 }),
+		mut(func(c *Config) { c.PipelineDelaySamples = -1 }),
+		mut(func(c *Config) { c.AntiNoiseCutoffHz = 0 }),
+		mut(func(c *Config) { c.AntiNoiseCutoffHz = 5000 }),
+		mut(func(c *Config) { c.SecondaryPath = nil }),
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d should be invalid", i)
+		}
+		if _, err := NewANC(c); err == nil {
+			t.Errorf("constructor should reject case %d", i)
+		}
+	}
+}
+
+// runBaseline simulates the headphone on a generator: reference and error
+// mics are essentially co-located (reference leads by refLead samples).
+func runBaseline(t *testing.T, h *ANC, gen audio.Generator, n int) (residual, primary []float64) {
+	t.Helper()
+	// Primary path: noise reaches the error mic with slight multipath.
+	priCh := dsp.NewStreamConvolver([]float64{0, 1.0, 0.3})
+	secCh := dsp.NewStreamConvolver(secPath)
+	e := 0.0
+	for i := 0; i < n; i++ {
+		x := gen.Next()
+		a := h.Step(x, e)
+		d := priCh.Process(x)
+		e = d + secCh.Process(a)
+		residual = append(residual, e)
+		primary = append(primary, d)
+	}
+	return residual, primary
+}
+
+func bandDB(t *testing.T, res, pri []float64, lo, hi float64) float64 {
+	t.Helper()
+	pr, err := dsp.WelchPSD(res[len(res)/2:], fs, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp, err := dsp.WelchPSD(pri[len(pri)/2:], fs, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dsp.DB((pr.BandPower(lo, hi) + dsp.EpsilonPower) / (pp.BandPower(lo, hi) + dsp.EpsilonPower))
+}
+
+func TestBaselineCancelsLowFrequencyHum(t *testing.T) {
+	h, err := NewANC(DefaultConfig(fs, secPath))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := audio.NewMachineHum(1, 120, fs, 0.5, 4)
+	res, pri := runBaseline(t, h, gen, 60000)
+	low := bandDB(t, res, pri, 80, 600)
+	if low > -10 {
+		t.Errorf("baseline hum cancellation = %.1f dB, want < -10", low)
+	}
+}
+
+func TestBaselineFailsAboveOneKilohertz(t *testing.T) {
+	// The defining limitation: on wide-band noise the baseline gets little
+	// or no cancellation above 1 kHz.
+	h, err := NewANC(DefaultConfig(fs, secPath))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := audio.NewWhiteNoise(2, fs, 0.5)
+	res, pri := runBaseline(t, h, gen, 60000)
+	low := bandDB(t, res, pri, 100, 900)
+	high := bandDB(t, res, pri, 1500, 3800)
+	if high < -6 {
+		t.Errorf("baseline should not cancel much above 1 kHz, got %.1f dB", high)
+	}
+	if low >= high {
+		t.Errorf("baseline low band (%.1f dB) should beat high band (%.1f dB)", low, high)
+	}
+	// It must not amplify the high band badly either (stability).
+	if high > 3 {
+		t.Errorf("baseline amplifies high band: %.1f dB", high)
+	}
+}
+
+func TestBaselineResetRepeatable(t *testing.T) {
+	h, err := NewANC(DefaultConfig(fs, secPath))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, _ := runBaseline(t, h, audio.NewWhiteNoise(3, fs, 0.5), 4000)
+	h.Reset()
+	r2, _ := runBaseline(t, h, audio.NewWhiteNoise(3, fs, 0.5), 4000)
+	for i := range r1 {
+		if math.Abs(r1[i]-r2[i]) > 1e-12 {
+			t.Fatal("reset run should reproduce exactly")
+		}
+	}
+}
+
+func TestPassiveIsolationCurve(t *testing.T) {
+	h, err := PassiveIsolation(fs, DefaultPassiveTaps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g200 := dsp.AmpDB(dsp.FrequencyResponse(h, 200, fs))
+	g1k := dsp.AmpDB(dsp.FrequencyResponse(h, 1000, fs))
+	g3500 := dsp.AmpDB(dsp.FrequencyResponse(h, 3500, fs))
+	if !(g200 > g1k && g1k > g3500) {
+		t.Errorf("passive attenuation should grow with frequency: %0.1f, %0.1f, %0.1f dB", g200, g1k, g3500)
+	}
+	if g3500 > -9 {
+		t.Errorf("passive attenuation at 3.5 kHz = %.1f dB, want < -9", g3500)
+	}
+	if g200 < -4 {
+		t.Errorf("passive attenuation at 200 Hz = %.1f dB, want > -4 (nearly transparent)", g200)
+	}
+}
+
+func TestPassiveIsolationErrors(t *testing.T) {
+	if _, err := PassiveIsolation(0, 129); err == nil {
+		t.Error("zero rate should error")
+	}
+	if _, err := PassiveIsolation(fs, 4); err == nil {
+		t.Error("too few taps should error")
+	}
+}

@@ -1,0 +1,127 @@
+// Package relaysel implements MUTE's automatic relay selection
+// (Section 4.2): GCC-PHAT cross-correlation between the wirelessly
+// forwarded sound and the locally heard sound determines whether a relay
+// offers positive lookahead, and with multiple relays, which one offers the
+// most. Correlation is repeated periodically to track moving sources.
+package relaysel
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"sort"
+
+	"mute/internal/dsp"
+)
+
+// Correlation is a GCC-PHAT result.
+type Correlation struct {
+	// LagSamples is the delay of the locally heard signal relative to the
+	// forwarded signal at the correlation peak. Positive means the
+	// forwarded copy leads (positive lookahead).
+	LagSamples int
+	// Peak is the peak correlation value in [0, 1]-ish (PHAT weighted).
+	Peak float64
+	// Lags and Values hold the full correlation function for plotting
+	// (Figure 18); Values[i] corresponds to lag Lags[i].
+	Lags   []int
+	Values []float64
+}
+
+// GCCPHAT computes the PHAT-weighted generalized cross-correlation between
+// the forwarded reference signal and the local (error-mic) signal over lags
+// in [-maxLag, maxLag]. Both signals must have equal length ≥ 2·maxLag.
+func GCCPHAT(forwarded, local []float64, maxLag int) (*Correlation, error) {
+	n := len(forwarded)
+	if n == 0 || len(local) != n {
+		return nil, fmt.Errorf("relaysel: signals must be equal non-zero length (got %d, %d)", n, len(local))
+	}
+	if maxLag <= 0 || maxLag >= n/2 {
+		return nil, fmt.Errorf("relaysel: maxLag %d outside (0, %d)", maxLag, n/2)
+	}
+	m := dsp.NextPow2(2 * n)
+	F := dsp.FFTReal(forwarded, m)
+	L := dsp.FFTReal(local, m)
+	// Cross-power spectrum with PHAT weighting: keep phase only.
+	X := make([]complex128, m)
+	for k := 0; k < m; k++ {
+		c := L[k] * cmplx.Conj(F[k])
+		mag := cmplx.Abs(c)
+		if mag > 1e-12 {
+			X[k] = c / complex(mag, 0)
+		}
+	}
+	corr := dsp.IFFTReal(X)
+	// corr[lag] for lag >= 0 at index lag; negative lags wrap to m-|lag|.
+	res := &Correlation{
+		Lags:   make([]int, 0, 2*maxLag+1),
+		Values: make([]float64, 0, 2*maxLag+1),
+	}
+	bestVal := math.Inf(-1)
+	for lag := -maxLag; lag <= maxLag; lag++ {
+		idx := lag
+		if idx < 0 {
+			idx += m
+		}
+		v := corr[idx]
+		res.Lags = append(res.Lags, lag)
+		res.Values = append(res.Values, v)
+		if v > bestVal {
+			bestVal = v
+			res.LagSamples = lag
+		}
+	}
+	res.Peak = bestVal
+	return res, nil
+}
+
+// PositiveLookahead reports whether the correlation indicates the forwarded
+// signal usefully leads the local one by at least minLead samples.
+func (c *Correlation) PositiveLookahead(minLead int) bool {
+	return c.LagSamples >= minLead
+}
+
+// RelayReport describes one relay's measured lookahead.
+type RelayReport struct {
+	// Index identifies the relay in the order passed to SelectRelay.
+	Index int
+	// LagSamples is the measured lookahead in samples (positive = leads).
+	LagSamples int
+	// Peak is the correlation peak strength.
+	Peak float64
+}
+
+// Selection is the outcome of a relay-selection round.
+type Selection struct {
+	// Best is the chosen relay index, or -1 when no relay offers positive
+	// lookahead (the paper's "no relay associated" case).
+	Best int
+	// Reports holds per-relay measurements sorted by descending lag.
+	Reports []RelayReport
+}
+
+// SelectRelay correlates each relay's forwarded stream against the local
+// signal and picks the relay with the largest positive lag (maximum
+// lookahead), requiring at least minLead samples of lead and a peak of at
+// least minPeak to guard against spurious correlation.
+func SelectRelay(forwarded [][]float64, local []float64, maxLag, minLead int, minPeak float64) (*Selection, error) {
+	if len(forwarded) == 0 {
+		return nil, fmt.Errorf("relaysel: no relays")
+	}
+	sel := &Selection{Best: -1}
+	for i, f := range forwarded {
+		c, err := GCCPHAT(f, local, maxLag)
+		if err != nil {
+			return nil, fmt.Errorf("relaysel: relay %d: %w", i, err)
+		}
+		sel.Reports = append(sel.Reports, RelayReport{Index: i, LagSamples: c.LagSamples, Peak: c.Peak})
+	}
+	sort.Slice(sel.Reports, func(a, b int) bool {
+		return sel.Reports[a].LagSamples > sel.Reports[b].LagSamples
+	})
+	top := sel.Reports[0]
+	if top.LagSamples >= minLead && top.Peak >= minPeak {
+		sel.Best = top.Index
+	}
+	return sel, nil
+}

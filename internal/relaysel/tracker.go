@@ -1,0 +1,149 @@
+package relaysel
+
+import (
+	"fmt"
+)
+
+// Tracker performs the periodic re-correlation of Section 4.2: it buffers
+// the forwarded streams of every relay alongside the locally heard signal,
+// re-runs relay selection every interval, and applies hysteresis so a
+// momentary correlation glitch does not flap the association. It handles
+// the paper's "the sound source has moved to another location" case.
+type Tracker struct {
+	interval   int // samples between selection rounds
+	window     int // correlation window length
+	maxLag     int
+	minLead    int
+	minPeak    float64
+	hysteresis int // consecutive rounds a new winner must persist
+
+	relays   int
+	bufLocal []float64
+	bufFwd   [][]float64
+	fill     int
+
+	current    int // associated relay, -1 = none
+	pendingID  int
+	pendingRun int
+	rounds     int
+	switches   int
+}
+
+// TrackerConfig configures a Tracker.
+type TrackerConfig struct {
+	// Relays is the number of forwarded streams.
+	Relays int
+	// WindowSamples is the correlation window (default 2048).
+	WindowSamples int
+	// IntervalSamples is how often selection re-runs (default = window).
+	IntervalSamples int
+	// MaxLagSamples bounds the correlation search (default window/4).
+	MaxLagSamples int
+	// MinLeadSamples is the minimum useful lookahead (default 1).
+	MinLeadSamples int
+	// MinPeak is the minimum correlation peak (default 0.05).
+	MinPeak float64
+	// Hysteresis is how many consecutive rounds a new association must
+	// win before the tracker switches (default 2).
+	Hysteresis int
+}
+
+// NewTracker creates a Tracker.
+func NewTracker(cfg TrackerConfig) (*Tracker, error) {
+	if cfg.Relays <= 0 {
+		return nil, fmt.Errorf("relaysel: tracker needs at least one relay, got %d", cfg.Relays)
+	}
+	if cfg.WindowSamples <= 0 {
+		cfg.WindowSamples = 2048
+	}
+	if cfg.IntervalSamples <= 0 {
+		cfg.IntervalSamples = cfg.WindowSamples
+	}
+	if cfg.MaxLagSamples <= 0 {
+		cfg.MaxLagSamples = cfg.WindowSamples / 4
+	}
+	if cfg.MaxLagSamples >= cfg.WindowSamples/2 {
+		return nil, fmt.Errorf("relaysel: max lag %d must be < window/2 (%d)", cfg.MaxLagSamples, cfg.WindowSamples/2)
+	}
+	if cfg.MinLeadSamples <= 0 {
+		cfg.MinLeadSamples = 1
+	}
+	if cfg.MinPeak <= 0 {
+		cfg.MinPeak = 0.05
+	}
+	if cfg.Hysteresis <= 0 {
+		cfg.Hysteresis = 2
+	}
+	t := &Tracker{
+		interval:   cfg.IntervalSamples,
+		window:     cfg.WindowSamples,
+		maxLag:     cfg.MaxLagSamples,
+		minLead:    cfg.MinLeadSamples,
+		minPeak:    cfg.MinPeak,
+		hysteresis: cfg.Hysteresis,
+		relays:     cfg.Relays,
+		bufLocal:   make([]float64, cfg.WindowSamples),
+		current:    -1,
+		pendingID:  -1,
+	}
+	t.bufFwd = make([][]float64, cfg.Relays)
+	for i := range t.bufFwd {
+		t.bufFwd[i] = make([]float64, cfg.WindowSamples)
+	}
+	return t, nil
+}
+
+// Push feeds one sample period: the local (error-mic) sample and one
+// forwarded sample per relay. len(forwarded) must equal Relays. It returns
+// true when a selection round just ran.
+func (t *Tracker) Push(local float64, forwarded []float64) (bool, error) {
+	if len(forwarded) != t.relays {
+		return false, fmt.Errorf("relaysel: got %d forwarded samples, want %d", len(forwarded), t.relays)
+	}
+	copy(t.bufLocal, t.bufLocal[1:])
+	t.bufLocal[t.window-1] = local
+	for i, v := range forwarded {
+		copy(t.bufFwd[i], t.bufFwd[i][1:])
+		t.bufFwd[i][t.window-1] = v
+	}
+	t.fill++
+	if t.fill < t.window || t.fill%t.interval != 0 {
+		return false, nil
+	}
+	sel, err := SelectRelay(t.bufFwd, t.bufLocal, t.maxLag, t.minLead, t.minPeak)
+	if err != nil {
+		return false, err
+	}
+	t.rounds++
+	t.consider(sel.Best)
+	return true, nil
+}
+
+// consider applies hysteresis to a round's winner.
+func (t *Tracker) consider(winner int) {
+	if winner == t.current {
+		t.pendingRun = 0
+		return
+	}
+	if winner != t.pendingID {
+		t.pendingID = winner
+		t.pendingRun = 1
+	} else {
+		t.pendingRun++
+	}
+	if t.pendingRun >= t.hysteresis {
+		t.current = winner
+		t.pendingRun = 0
+		t.switches++
+	}
+}
+
+// Current returns the associated relay index, or -1 when no relay offers
+// positive lookahead.
+func (t *Tracker) Current() int { return t.current }
+
+// Rounds returns how many selection rounds have run.
+func (t *Tracker) Rounds() int { return t.rounds }
+
+// Switches returns how many association changes the tracker has made.
+func (t *Tracker) Switches() int { return t.switches }

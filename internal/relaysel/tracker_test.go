@@ -1,0 +1,136 @@
+package relaysel
+
+import (
+	"testing"
+
+	"mute/internal/audio"
+)
+
+func defaultTrackerCfg(relays int) TrackerConfig {
+	return TrackerConfig{
+		Relays:          relays,
+		WindowSamples:   1024,
+		IntervalSamples: 512,
+		MaxLagSamples:   128,
+	}
+}
+
+func TestTrackerConfigValidation(t *testing.T) {
+	if _, err := NewTracker(TrackerConfig{Relays: 0}); err == nil {
+		t.Error("zero relays should error")
+	}
+	if _, err := NewTracker(TrackerConfig{Relays: 1, WindowSamples: 100, MaxLagSamples: 60}); err == nil {
+		t.Error("max lag >= window/2 should error")
+	}
+	tr, err := NewTracker(TrackerConfig{Relays: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Current() != -1 {
+		t.Error("fresh tracker should have no association")
+	}
+}
+
+func TestTrackerPushValidatesArity(t *testing.T) {
+	tr, err := NewTracker(defaultTrackerCfg(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Push(0, []float64{1}); err == nil {
+		t.Error("wrong forwarded arity should error")
+	}
+}
+
+// feed streams a scenario where relay `lead` leads the local signal by
+// `lag` samples and the other relays lag behind it.
+func feed(t *testing.T, tr *Tracker, seed uint64, relays, lead, lag, n int) {
+	t.Helper()
+	src := audio.NewWhiteNoise(seed, 8000, 0.7)
+	total := n + 4*lag + 8
+	base := audio.Render(src, total)
+	for i := 0; i < n; i++ {
+		local := base[i+2*lag]
+		fwd := make([]float64, relays)
+		for r := 0; r < relays; r++ {
+			if r == lead {
+				fwd[r] = base[i+3*lag] // leads local by lag
+			} else {
+				fwd[r] = base[i+lag] // lags local by lag
+			}
+		}
+		if _, err := tr.Push(local, fwd); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestTrackerAssociatesWithLeader(t *testing.T) {
+	tr, err := NewTracker(defaultTrackerCfg(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed(t, tr, 1, 3, 2, 25, 4096)
+	if tr.Current() != 2 {
+		t.Errorf("tracker associated with %d, want 2", tr.Current())
+	}
+	if tr.Rounds() == 0 {
+		t.Error("tracker should have run selection rounds")
+	}
+}
+
+func TestTrackerFollowsMovingSource(t *testing.T) {
+	tr, err := NewTracker(defaultTrackerCfg(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Phase 1: relay 0 leads. Phase 2: the source "moves" — relay 1 leads.
+	feed(t, tr, 2, 2, 0, 25, 4096)
+	if tr.Current() != 0 {
+		t.Fatalf("phase 1: associated with %d, want 0", tr.Current())
+	}
+	feed(t, tr, 3, 2, 1, 25, 6144)
+	if tr.Current() != 1 {
+		t.Errorf("phase 2: associated with %d, want 1 after source moved", tr.Current())
+	}
+	if tr.Switches() < 2 {
+		t.Errorf("switches = %d, want >= 2 (initial + move)", tr.Switches())
+	}
+}
+
+func TestTrackerHysteresisResistsGlitch(t *testing.T) {
+	cfg := defaultTrackerCfg(2)
+	cfg.Hysteresis = 3
+	tr, err := NewTracker(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed(t, tr, 4, 2, 0, 25, 4096)
+	if tr.Current() != 0 {
+		t.Fatalf("setup failed: current = %d", tr.Current())
+	}
+	// A brief glitch (one round's worth) toward relay 1 must not switch.
+	feed(t, tr, 5, 2, 1, 25, 512)
+	feed(t, tr, 6, 2, 0, 25, 2048)
+	if tr.Current() != 0 {
+		t.Errorf("hysteresis should have suppressed the glitch, current = %d", tr.Current())
+	}
+}
+
+func TestTrackerNoAssociationWhenAllLag(t *testing.T) {
+	tr, err := NewTracker(defaultTrackerCfg(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := audio.NewWhiteNoise(7, 8000, 0.7)
+	base := audio.Render(src, 6000)
+	for i := 0; i < 4096; i++ {
+		local := base[i+60]
+		fwd := []float64{base[i], base[i+20]} // both lag local
+		if _, err := tr.Push(local, fwd); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.Current() != -1 {
+		t.Errorf("all-lagging relays should yield no association, got %d", tr.Current())
+	}
+}

@@ -1,0 +1,167 @@
+package rf
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// The paper (Section 6) notes that each relay occupies only a few tens of
+// kilohertz of the 26 MHz 900 MHz ISM band, and that co-located systems can
+// coexist through carrier sensing and channel allocation. This file models
+// that spectrum management: a band plan, Carson-rule channel widths,
+// first-fit allocation, and a carrier-sense check with co-channel
+// interference accounting.
+
+// ISMBand describes the shared band.
+type ISMBand struct {
+	// LowHz and HighHz bound the band (defaults: 902-928 MHz).
+	LowHz, HighHz float64
+	// GuardHz is the guard spacing enforced between adjacent carriers.
+	GuardHz float64
+}
+
+// DefaultISMBand returns the US 902–928 MHz band with 10 kHz guards.
+func DefaultISMBand() ISMBand {
+	return ISMBand{LowHz: 902e6, HighHz: 928e6, GuardHz: 10e3}
+}
+
+// Width returns the band width in Hz.
+func (b ISMBand) Width() float64 { return b.HighHz - b.LowHz }
+
+// Validate checks the band plan.
+func (b ISMBand) Validate() error {
+	if b.LowHz <= 0 || b.HighHz <= b.LowHz {
+		return fmt.Errorf("rf: invalid band [%g, %g]", b.LowHz, b.HighHz)
+	}
+	if b.GuardHz < 0 {
+		return fmt.Errorf("rf: negative guard %g", b.GuardHz)
+	}
+	return nil
+}
+
+// CarsonBandwidth returns the occupied bandwidth of an FM transmission by
+// Carson's rule: 2·(Δf + f_m).
+func CarsonBandwidth(p FMParams) float64 {
+	return 2 * (p.DeviationHz + p.AudioRate/2)
+}
+
+// Allocation is one relay's assigned carrier.
+type Allocation struct {
+	// Relay identifies the transmitter.
+	Relay int
+	// CarrierHz is the assigned center frequency.
+	CarrierHz float64
+	// BandwidthHz is the occupied bandwidth.
+	BandwidthHz float64
+}
+
+// AllocateCarriers assigns non-overlapping carriers for n identical FM
+// relays in the band, first-fit from the bottom edge. It errors when the
+// band cannot hold them all.
+func AllocateCarriers(b ISMBand, p FMParams, n int) ([]Allocation, error) {
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("rf: need at least one relay, got %d", n)
+	}
+	bw := CarsonBandwidth(p)
+	slot := bw + b.GuardHz
+	if float64(n)*slot-b.GuardHz > b.Width() {
+		return nil, fmt.Errorf("rf: %d relays of %.0f Hz do not fit in %.0f Hz band", n, bw, b.Width())
+	}
+	out := make([]Allocation, n)
+	for i := 0; i < n; i++ {
+		out[i] = Allocation{
+			Relay:       i,
+			CarrierHz:   b.LowHz + float64(i)*slot + bw/2,
+			BandwidthHz: bw,
+		}
+	}
+	return out, nil
+}
+
+// FractionOccupied reports how much of the band n relays consume — the
+// paper's point that even many relays occupy a small fraction.
+func FractionOccupied(b ISMBand, p FMParams, n int) float64 {
+	return float64(n) * CarsonBandwidth(p) / b.Width()
+}
+
+// Overlap reports whether two allocations' occupied bands overlap.
+func Overlap(a, c Allocation) bool {
+	loA, hiA := a.CarrierHz-a.BandwidthHz/2, a.CarrierHz+a.BandwidthHz/2
+	loC, hiC := c.CarrierHz-c.BandwidthHz/2, c.CarrierHz+c.BandwidthHz/2
+	return loA < hiC && loC < hiA
+}
+
+// CarrierSense models the carrier-sensing coexistence check: given
+// existing allocations and a proposed carrier, it reports whether the
+// channel is clear (no overlap with any active transmission).
+func CarrierSense(active []Allocation, proposed Allocation) bool {
+	for _, a := range active {
+		if Overlap(a, proposed) {
+			return false
+		}
+	}
+	return true
+}
+
+// FindClearCarrier scans the band for the lowest clear carrier for an FM
+// transmission given the active allocations, or returns an error when the
+// band is saturated.
+func FindClearCarrier(b ISMBand, p FMParams, active []Allocation) (float64, error) {
+	if err := b.Validate(); err != nil {
+		return 0, err
+	}
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	bw := CarsonBandwidth(p)
+	// Candidate edges: band bottom and the top of every active allocation.
+	candidates := []float64{b.LowHz}
+	for _, a := range active {
+		candidates = append(candidates, a.CarrierHz+a.BandwidthHz/2+b.GuardHz)
+	}
+	sort.Float64s(candidates)
+	for _, lo := range candidates {
+		c := Allocation{CarrierHz: lo + bw/2, BandwidthHz: bw}
+		if c.CarrierHz+bw/2 > b.HighHz {
+			continue
+		}
+		if CarrierSense(active, c) {
+			return c.CarrierHz, nil
+		}
+	}
+	return 0, fmt.Errorf("rf: no clear carrier for %.0f Hz transmission", bw)
+}
+
+// CoChannelInterference estimates the audio SNR penalty (dB) a victim FM
+// link suffers from an interferer, from their carrier separation and
+// relative received power. Fully overlapping equal-power interference
+// costs capture-threshold-level degradation; beyond one channel width the
+// penalty decays fast (FM capture effect).
+func CoChannelInterference(victim, interferer Allocation, relativePowerDB float64) float64 {
+	sep := math.Abs(victim.CarrierHz - interferer.CarrierHz)
+	bw := victim.BandwidthHz
+	if bw <= 0 {
+		return 0
+	}
+	// Spectral overlap factor in [0, 1].
+	overlap := 1 - sep/bw
+	if overlap <= 0 {
+		return 0
+	}
+	// FM capture: an interferer much weaker than the carrier is mostly
+	// suppressed; near equal power it destroys the link.
+	captureMargin := -relativePowerDB // positive when the victim is stronger
+	suppression := captureMargin - 6  // ~6 dB capture threshold
+	if suppression < 0 {
+		suppression = 0
+	}
+	penalty := overlap * math.Max(0, 30-suppression)
+	return penalty
+}

@@ -1,0 +1,192 @@
+package rf
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestISMBandValidate(t *testing.T) {
+	if err := DefaultISMBand().Validate(); err != nil {
+		t.Errorf("default band invalid: %v", err)
+	}
+	bad := []ISMBand{
+		{LowHz: 0, HighHz: 1e6},
+		{LowHz: 2e6, HighHz: 1e6},
+		{LowHz: 1e6, HighHz: 2e6, GuardHz: -1},
+	}
+	for i, b := range bad {
+		if err := b.Validate(); err == nil {
+			t.Errorf("case %d should be invalid", i)
+		}
+	}
+	if w := DefaultISMBand().Width(); w != 26e6 {
+		t.Errorf("ISM width = %g, want 26 MHz", w)
+	}
+}
+
+func TestCarsonBandwidth(t *testing.T) {
+	p := DefaultFMParams() // 3 kHz deviation, 8 kHz audio
+	if bw := CarsonBandwidth(p); bw != 2*(3000+4000) {
+		t.Errorf("Carson bandwidth = %g, want 14 kHz", bw)
+	}
+}
+
+func TestAllocateCarriersNonOverlapping(t *testing.T) {
+	b := DefaultISMBand()
+	p := DefaultFMParams()
+	allocs, err := AllocateCarriers(b, p, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(allocs) != 50 {
+		t.Fatalf("got %d allocations", len(allocs))
+	}
+	for i := range allocs {
+		lo := allocs[i].CarrierHz - allocs[i].BandwidthHz/2
+		hi := allocs[i].CarrierHz + allocs[i].BandwidthHz/2
+		if lo < b.LowHz || hi > b.HighHz {
+			t.Errorf("allocation %d outside band: [%g, %g]", i, lo, hi)
+		}
+		for j := i + 1; j < len(allocs); j++ {
+			if Overlap(allocs[i], allocs[j]) {
+				t.Errorf("allocations %d and %d overlap", i, j)
+			}
+		}
+	}
+}
+
+func TestAllocateCarriersErrors(t *testing.T) {
+	if _, err := AllocateCarriers(ISMBand{}, DefaultFMParams(), 1); err == nil {
+		t.Error("invalid band should error")
+	}
+	if _, err := AllocateCarriers(DefaultISMBand(), FMParams{}, 1); err == nil {
+		t.Error("invalid FM params should error")
+	}
+	if _, err := AllocateCarriers(DefaultISMBand(), DefaultFMParams(), 0); err == nil {
+		t.Error("zero relays should error")
+	}
+	// A tiny band cannot hold many relays.
+	tiny := ISMBand{LowHz: 902e6, HighHz: 902.05e6, GuardHz: 10e3}
+	if _, err := AllocateCarriers(tiny, DefaultFMParams(), 10); err == nil {
+		t.Error("overcommitted band should error")
+	}
+}
+
+func TestFractionOccupiedSmall(t *testing.T) {
+	// The paper's point: a few relays occupy a tiny fraction of the band.
+	f := FractionOccupied(DefaultISMBand(), DefaultFMParams(), 4)
+	if f > 0.01 {
+		t.Errorf("4 relays occupy fraction %.4f, want < 1%%", f)
+	}
+}
+
+func TestCarrierSense(t *testing.T) {
+	b := DefaultISMBand()
+	p := DefaultFMParams()
+	active, err := AllocateCarriers(b, p, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Proposal on top of an active carrier: busy.
+	busy := Allocation{CarrierHz: active[1].CarrierHz, BandwidthHz: active[1].BandwidthHz}
+	if CarrierSense(active, busy) {
+		t.Error("overlapping proposal should sense busy")
+	}
+	// Far above the active ones: clear.
+	clear := Allocation{CarrierHz: 920e6, BandwidthHz: CarsonBandwidth(p)}
+	if !CarrierSense(active, clear) {
+		t.Error("distant proposal should sense clear")
+	}
+}
+
+func TestFindClearCarrier(t *testing.T) {
+	b := DefaultISMBand()
+	p := DefaultFMParams()
+	var active []Allocation
+	// Admit relays one by one through carrier sensing.
+	for i := 0; i < 5; i++ {
+		c, err := FindClearCarrier(b, p, active)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := Allocation{Relay: i, CarrierHz: c, BandwidthHz: CarsonBandwidth(p)}
+		if !CarrierSense(active, a) {
+			t.Fatalf("FindClearCarrier returned a busy carrier at %g", c)
+		}
+		active = append(active, a)
+	}
+	// Saturate a tiny band (10 kHz cannot hold a 14 kHz FM channel).
+	tiny := ISMBand{LowHz: 902e6, HighHz: 902.01e6}
+	if _, err := FindClearCarrier(tiny, p, nil); err == nil {
+		t.Error("saturated band should error")
+	}
+	if _, err := FindClearCarrier(ISMBand{}, p, nil); err == nil {
+		t.Error("invalid band should error")
+	}
+	if _, err := FindClearCarrier(b, FMParams{}, nil); err == nil {
+		t.Error("invalid FM params should error")
+	}
+}
+
+func TestFindClearCarrierFillsGaps(t *testing.T) {
+	b := DefaultISMBand()
+	p := DefaultFMParams()
+	bw := CarsonBandwidth(p)
+	// Two allocations with a gap exactly one slot wide between them.
+	active := []Allocation{
+		{CarrierHz: b.LowHz + bw/2, BandwidthHz: bw},
+		{CarrierHz: b.LowHz + 2.5*bw + 2*b.GuardHz, BandwidthHz: bw},
+	}
+	c, err := FindClearCarrier(b, p, active)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c >= active[1].CarrierHz {
+		t.Errorf("should fill the gap below the second carrier, got %g", c)
+	}
+}
+
+func TestCoChannelInterference(t *testing.T) {
+	p := DefaultFMParams()
+	bw := CarsonBandwidth(p)
+	victim := Allocation{CarrierHz: 910e6, BandwidthHz: bw}
+	// Same-channel equal power: severe.
+	severe := CoChannelInterference(victim, victim, 0)
+	if severe < 10 {
+		t.Errorf("co-channel equal-power penalty = %.1f dB, want severe", severe)
+	}
+	// Same channel, interferer 20 dB weaker: FM capture suppresses it.
+	weak := CoChannelInterference(victim, victim, -20)
+	if weak >= severe {
+		t.Error("capture effect should reduce the penalty for a weak interferer")
+	}
+	// Far away in frequency: no penalty.
+	far := Allocation{CarrierHz: 912e6, BandwidthHz: bw}
+	if p := CoChannelInterference(victim, far, 0); p != 0 {
+		t.Errorf("distant interferer penalty = %g, want 0", p)
+	}
+	if p := CoChannelInterference(Allocation{}, victim, 0); p != 0 {
+		t.Error("degenerate victim should have zero penalty")
+	}
+}
+
+func TestOverlapProperty(t *testing.T) {
+	// Overlap is symmetric.
+	f := func(c1, c2, w1, w2 float64) bool {
+		a := Allocation{CarrierHz: 910e6 + mod(c1, 1e6), BandwidthHz: 1e3 + mod(w1, 1e5)}
+		b := Allocation{CarrierHz: 910e6 + mod(c2, 1e6), BandwidthHz: 1e3 + mod(w2, 1e5)}
+		return Overlap(a, b) == Overlap(b, a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func mod(v, m float64) float64 {
+	v = math.Abs(math.Mod(v, m))
+	if math.IsNaN(v) {
+		return 0
+	}
+	return v
+}

@@ -1,0 +1,98 @@
+package rf
+
+import (
+	"fmt"
+
+	"mute/internal/audio"
+	"mute/internal/dsp"
+)
+
+// RelayParams models the analog front end of the IoT relay (Figure 9):
+// a cheap MEMS microphone with self-noise, an anti-aliasing low-pass
+// filter, and an audio amplifier, feeding the FM modulator.
+type RelayParams struct {
+	// MicNoiseRMS is the microphone self-noise level (RMS, full scale 1).
+	// The paper's $9 ADMP401 has noticeably more self-noise than Bose's
+	// microphones; 0.002 ≈ 54 dB SNR at full scale.
+	MicNoiseRMS float64
+	// LPFCutoffHz is the anti-aliasing cutoff (default 3600 Hz for the
+	// 8 kHz pipeline).
+	LPFCutoffHz float64
+	// Gain is the audio amplifier gain applied before modulation.
+	Gain float64
+	// Seed drives the deterministic mic-noise stream.
+	Seed uint64
+}
+
+// DefaultRelayParams returns the cheap-hardware defaults used in the
+// evaluation.
+func DefaultRelayParams() RelayParams {
+	return RelayParams{MicNoiseRMS: 0.002, LPFCutoffHz: 3600, Gain: 1, Seed: 7}
+}
+
+// Relay is the analog IoT relay: it converts ambient sound into an FM
+// baseband stream sample by sample, holding no recorded audio anywhere —
+// the privacy property of Section 4.4 (the struct stores only filter state,
+// never a sample log).
+type Relay struct {
+	params RelayParams
+	fm     FMParams
+	lpf    *dsp.Biquad
+	noise  *audio.RNG
+}
+
+// NewRelay builds a relay front end for the given FM link parameters.
+func NewRelay(rp RelayParams, fm FMParams) (*Relay, error) {
+	if err := fm.Validate(); err != nil {
+		return nil, err
+	}
+	if rp.MicNoiseRMS < 0 {
+		return nil, fmt.Errorf("rf: negative mic noise %g", rp.MicNoiseRMS)
+	}
+	if rp.Gain <= 0 {
+		return nil, fmt.Errorf("rf: relay gain %g must be positive", rp.Gain)
+	}
+	cut := rp.LPFCutoffHz
+	if cut <= 0 || cut >= fm.AudioRate/2 {
+		cut = 0.45 * fm.AudioRate
+	}
+	lpf, err := dsp.NewLowPassBiquad(cut, fm.AudioRate, 0.7071)
+	if err != nil {
+		return nil, fmt.Errorf("rf: relay LPF: %w", err)
+	}
+	return &Relay{params: rp, fm: fm, lpf: lpf, noise: audio.NewRNG(rp.Seed)}, nil
+}
+
+// Capture processes one block of ambient sound through the analog chain
+// (mic noise → LPF → amplifier) and returns the conditioned audio ready
+// for FM modulation. The input block is not modified.
+func (r *Relay) Capture(ambient []float64) []float64 {
+	out := make([]float64, len(ambient))
+	for i, s := range ambient {
+		s += r.params.MicNoiseRMS * r.noise.Norm()
+		s = r.lpf.Process(s)
+		out[i] = s * r.params.Gain
+	}
+	return out
+}
+
+// Transmit captures ambient sound and returns the FM baseband stream that
+// goes over the air.
+func (r *Relay) Transmit(ambient []float64) ([]complex128, error) {
+	return Modulate(r.fm, r.Capture(ambient))
+}
+
+// Forward runs the complete relay → channel → receiver chain on a block of
+// ambient sound, returning the audio the ear device extracts. This is the
+// single call the simulator uses per experiment.
+func (r *Relay) Forward(ambient []float64, ch ChannelParams) ([]float64, error) {
+	tx, err := r.Transmit(ambient)
+	if err != nil {
+		return nil, err
+	}
+	rx, err := Apply(r.fm, ch, tx)
+	if err != nil {
+		return nil, err
+	}
+	return Demodulate(r.fm, rx)
+}

@@ -1,0 +1,169 @@
+// Package scenario loads experiment scenes from JSON, so deployments can
+// be described declaratively and run with cmd/mutesim -scene:
+//
+//	{
+//	  "room":   {"width": 5, "depth": 4, "height": 3, "absorption": 0.8},
+//	  "relay":  {"x": 1.0, "y": 2.0, "z": 1.5},
+//	  "ear":    {"x": 4.0, "y": 2.0, "z": 1.2},
+//	  "sampleRate": 8000,
+//	  "sources": [
+//	    {"x": 0.5, "y": 2.0, "z": 1.5, "sound": "speech", "amp": 0.8, "seed": 7}
+//	  ]
+//	}
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"mute/internal/acoustics"
+	"mute/internal/audio"
+	"mute/internal/sim"
+)
+
+// Spec is the JSON scene description.
+type Spec struct {
+	// Room describes the rectangular room.
+	Room RoomSpec `json:"room"`
+	// Relay is the IoT relay position.
+	Relay PointSpec `json:"relay"`
+	// Ear is the ear-device position.
+	Ear PointSpec `json:"ear"`
+	// SampleRate in Hz (default 8000).
+	SampleRate float64 `json:"sampleRate"`
+	// Sources lists the noise sources (at least one).
+	Sources []SourceSpec `json:"sources"`
+}
+
+// RoomSpec describes the room geometry and absorption.
+type RoomSpec struct {
+	Width      float64 `json:"width"`
+	Depth      float64 `json:"depth"`
+	Height     float64 `json:"height"`
+	Absorption float64 `json:"absorption"`
+	// MaxOrder caps image-source reflections (0 = default).
+	MaxOrder int `json:"maxOrder,omitempty"`
+}
+
+// PointSpec is a 3-D position in meters.
+type PointSpec struct {
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+	Z float64 `json:"z"`
+}
+
+// SourceSpec is one noise source.
+type SourceSpec struct {
+	PointSpec
+	// Sound selects the generator: white, pink, hum, speech, female,
+	// sentences, music, construction, babble, traffic, announcement, tone.
+	Sound string `json:"sound"`
+	// Amp scales the source level (default 0.5).
+	Amp float64 `json:"amp,omitempty"`
+	// Seed drives the generator (default: source index + 1).
+	Seed uint64 `json:"seed,omitempty"`
+	// Freq parameterizes tonal sources (tone frequency, hum fundamental;
+	// defaults 440 and 120).
+	Freq float64 `json:"freq,omitempty"`
+}
+
+// Load parses a Spec from JSON.
+func Load(r io.Reader) (*Spec, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("scenario: parse: %w", err)
+	}
+	return &s, nil
+}
+
+// LoadFile parses a Spec from a JSON file.
+func LoadFile(path string) (*Spec, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: open %s: %w", path, err)
+	}
+	defer f.Close()
+	return Load(f)
+}
+
+// Build converts the Spec into a simulator Scene, instantiating the
+// generators. The Scene is validated before return.
+func (s *Spec) Build() (sim.Scene, error) {
+	rate := s.SampleRate
+	if rate == 0 {
+		rate = 8000
+	}
+	scene := sim.Scene{
+		Room: acoustics.Room{
+			Size:       acoustics.Point{X: s.Room.Width, Y: s.Room.Depth, Z: s.Room.Height},
+			Absorption: s.Room.Absorption,
+			MaxOrder:   s.Room.MaxOrder,
+		},
+		RelayPos:   acoustics.Point{X: s.Relay.X, Y: s.Relay.Y, Z: s.Relay.Z},
+		EarPos:     acoustics.Point{X: s.Ear.X, Y: s.Ear.Y, Z: s.Ear.Z},
+		SampleRate: rate,
+	}
+	for i, src := range s.Sources {
+		seed := src.Seed
+		if seed == 0 {
+			seed = uint64(i) + 1
+		}
+		amp := src.Amp
+		if amp == 0 {
+			amp = 0.5
+		}
+		gen, err := buildGenerator(src.Sound, seed, rate, amp, src.Freq)
+		if err != nil {
+			return sim.Scene{}, fmt.Errorf("scenario: source %d: %w", i, err)
+		}
+		scene.Sources = append(scene.Sources, sim.Source{
+			Pos: acoustics.Point{X: src.X, Y: src.Y, Z: src.Z},
+			Gen: gen,
+		})
+	}
+	if err := scene.Validate(); err != nil {
+		return sim.Scene{}, err
+	}
+	return scene, nil
+}
+
+func buildGenerator(sound string, seed uint64, rate, amp, freq float64) (audio.Generator, error) {
+	switch sound {
+	case "white", "":
+		return audio.NewWhiteNoise(seed, rate, amp), nil
+	case "pink":
+		return audio.NewPinkNoise(seed, rate, amp), nil
+	case "hum":
+		if freq == 0 {
+			freq = 120
+		}
+		return audio.NewMachineHum(seed, freq, rate, amp, 8), nil
+	case "speech":
+		return audio.NewSpeech(seed, audio.MaleVoice, rate, amp), nil
+	case "female":
+		return audio.NewSpeech(seed, audio.FemaleVoice, rate, amp), nil
+	case "sentences":
+		return audio.NewSentenceSpeech(seed, audio.MaleVoice, rate, amp), nil
+	case "music":
+		return audio.NewMusic(seed, rate, amp, 3), nil
+	case "construction":
+		return audio.NewConstructionNoise(seed, rate, amp), nil
+	case "babble":
+		return audio.NewBabble(seed, 3, rate, amp), nil
+	case "traffic":
+		return audio.NewTraffic(seed, rate, amp, 12), nil
+	case "announcement":
+		return audio.NewAnnouncement(seed, rate, amp), nil
+	case "tone":
+		if freq == 0 {
+			freq = 440
+		}
+		return audio.NewTone(freq, rate, amp, 0), nil
+	default:
+		return nil, fmt.Errorf("unknown sound %q", sound)
+	}
+}

@@ -1,0 +1,135 @@
+package scenario
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mute/internal/sim"
+)
+
+const validJSON = `{
+  "room":   {"width": 5, "depth": 4, "height": 3, "absorption": 0.8},
+  "relay":  {"x": 1.0, "y": 2.0, "z": 1.5},
+  "ear":    {"x": 4.0, "y": 2.0, "z": 1.2},
+  "sampleRate": 8000,
+  "sources": [
+    {"x": 0.5, "y": 2.0, "z": 1.5, "sound": "speech", "amp": 0.8, "seed": 7},
+    {"x": 2.5, "y": 3.4, "z": 1.5, "sound": "hum", "freq": 150}
+  ]
+}`
+
+func TestLoadAndBuild(t *testing.T) {
+	spec, err := Load(strings.NewReader(validJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	scene, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scene.Sources) != 2 {
+		t.Fatalf("sources = %d, want 2", len(scene.Sources))
+	}
+	if scene.SampleRate != 8000 {
+		t.Errorf("rate = %g", scene.SampleRate)
+	}
+	// The built scene should actually simulate.
+	p := sim.DefaultParams(scene)
+	p.Duration = 1
+	if _, err := sim.Run(p, sim.MUTEHollow); err != nil {
+		t.Fatalf("built scene failed to run: %v", err)
+	}
+}
+
+func TestLoadRejectsUnknownFields(t *testing.T) {
+	if _, err := Load(strings.NewReader(`{"room": {}, "bogus": 1}`)); err == nil {
+		t.Error("unknown fields should be rejected")
+	}
+	if _, err := Load(strings.NewReader(`not json`)); err == nil {
+		t.Error("garbage should be rejected")
+	}
+}
+
+func TestBuildValidatesScene(t *testing.T) {
+	spec, err := Load(strings.NewReader(validJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Relay = PointSpec{X: 99, Y: 99, Z: 99}
+	if _, err := spec.Build(); err == nil {
+		t.Error("relay outside room should fail validation")
+	}
+}
+
+func TestBuildUnknownSound(t *testing.T) {
+	spec, err := Load(strings.NewReader(validJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Sources[0].Sound = "theremin"
+	if _, err := spec.Build(); err == nil {
+		t.Error("unknown sound should error")
+	}
+}
+
+func TestBuildEverySoundKind(t *testing.T) {
+	sounds := []string{"white", "", "pink", "hum", "speech", "female", "sentences",
+		"music", "construction", "babble", "traffic", "announcement", "tone"}
+	for _, snd := range sounds {
+		gen, err := buildGenerator(snd, 1, 8000, 0.5, 0)
+		if err != nil {
+			t.Errorf("%q: %v", snd, err)
+			continue
+		}
+		var energy float64
+		for i := 0; i < 40000; i++ {
+			v := gen.Next()
+			energy += v * v
+		}
+		if energy == 0 {
+			t.Errorf("%q produced silence", snd)
+		}
+	}
+}
+
+func TestLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "scene.json")
+	if err := os.WriteFile(path, []byte(validJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	spec, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.Sources) != 2 {
+		t.Error("sources lost in file round trip")
+	}
+	if _, err := LoadFile(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file should error")
+	}
+}
+
+func TestDefaultSeedsAndAmps(t *testing.T) {
+	spec, err := Load(strings.NewReader(`{
+	  "room":  {"width": 5, "depth": 4, "height": 3, "absorption": 0.8},
+	  "relay": {"x": 1, "y": 2, "z": 1.5},
+	  "ear":   {"x": 4, "y": 2, "z": 1.2},
+	  "sources": [{"x": 0.5, "y": 2, "z": 1.5}]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	scene, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scene.SampleRate != 8000 {
+		t.Error("default sample rate should apply")
+	}
+	if scene.Sources[0].Gen.SampleRate() != 8000 {
+		t.Error("default generator rate mismatch")
+	}
+}

@@ -1,0 +1,424 @@
+package sim
+
+import (
+	"fmt"
+
+	"mute/internal/anc"
+	"mute/internal/audio"
+	"mute/internal/core"
+	"mute/internal/dsp"
+	"mute/internal/headphone"
+	"mute/internal/rf"
+)
+
+// Scheme selects which cancellation system is simulated.
+type Scheme int
+
+// The paper's four comparison schemes (Section 5.1).
+const (
+	// MUTEHollow is the open-ear MUTE device: LANC with wireless
+	// lookahead, no passive material.
+	MUTEHollow Scheme = iota
+	// MUTEPassive is MUTE's LANC running inside the Bose ear cup
+	// ("MUTE+Passive").
+	MUTEPassive
+	// BoseActive is the conventional headphone's ANC contribution alone
+	// (measured under the ear cup, ANC on vs off).
+	BoseActive
+	// BoseOverall is the conventional headphone end to end: ANC plus
+	// passive isolation, versus the open ear.
+	BoseOverall
+	// PassiveOnly is the ear cup with ANC off (a control scheme).
+	PassiveOnly
+)
+
+// String names the scheme as in the paper's figures.
+func (s Scheme) String() string {
+	switch s {
+	case MUTEHollow:
+		return "MUTE_Hollow"
+	case MUTEPassive:
+		return "MUTE+Passive"
+	case BoseActive:
+		return "Bose_Active"
+	case BoseOverall:
+		return "Bose_Overall"
+	case PassiveOnly:
+		return "Passive_Only"
+	default:
+		return fmt.Sprintf("Scheme(%d)", int(s))
+	}
+}
+
+// usesLANC reports whether the scheme runs MUTE's algorithm.
+func (s Scheme) usesLANC() bool { return s == MUTEHollow || s == MUTEPassive }
+
+// usesPassive reports whether the ear is covered by the passive cup.
+func (s Scheme) usesPassive() bool { return s != MUTEHollow }
+
+// Params configures a simulation run.
+type Params struct {
+	// Scene is the physical layout.
+	Scene Scene
+	// Duration is the simulated time in seconds.
+	Duration float64
+
+	// UseFMLink routes the reference signal through the full FM chain
+	// (modulator, impaired channel, demodulator). When false an ideal
+	// forwarding link (relay analog chain only) is used — much faster,
+	// and the default for parameter sweeps.
+	UseFMLink bool
+	// FM configures the FM link when enabled.
+	FM rf.FMParams
+	// Channel configures RF impairments when the FM link is enabled.
+	Channel rf.ChannelParams
+	// Relay configures the relay analog front end.
+	Relay rf.RelayParams
+
+	// Pipeline is the MUTE ear-device processing latency (Equation 3) —
+	// the TI DSP board's ADC/DSP/DAC/speaker chain.
+	Pipeline core.PipelineDelays
+	// BoseLatencySamples is the conventional headphone's end-to-end
+	// processing latency in (fractional) samples. Commercial ANC
+	// hardware is heavily optimized (~60 µs ≈ 0.5 samples at 8 kHz) yet
+	// still misses the ~30 µs deadline of Figure 5(a); this is the phase
+	// error that caps its high-frequency cancellation. 0 selects the
+	// default of 0.5.
+	BoseLatencySamples float64
+	// ExtraReferenceDelay injects additional delay (samples) into the
+	// forwarded reference — the paper's delayed-line trick for shrinking
+	// lookahead without moving hardware (Figure 16).
+	ExtraReferenceDelay int
+
+	// CausalTaps is LANC's causal filter length L.
+	CausalTaps int
+	// MaxNonCausalTaps caps N regardless of the available lookahead
+	// (0 = no cap).
+	MaxNonCausalTaps int
+	// Mu is LANC's step size.
+	Mu float64
+	// PlainLMS disables NLMS power normalization — the classical LMS of
+	// the paper's prototype, whose slower re-convergence is what makes
+	// predictive profile switching valuable (Figure 8).
+	PlainLMS bool
+	// Profiling enables LANC's predictive filter switching.
+	Profiling bool
+	// ProfileWindow, ProfileHop, ProfileThreshold and MaxProfiles tune
+	// the profiler when Profiling is on (0 = core defaults).
+	ProfileWindow    int
+	ProfileHop       int
+	ProfileThreshold float64
+	MaxProfiles      int
+
+	// EarMicNoiseRMS is the ear-device error-microphone self-noise.
+	EarMicNoiseRMS float64
+	// Seed drives all stochastic components of the run.
+	Seed uint64
+}
+
+// DefaultParams returns the standard evaluation configuration for a scene.
+func DefaultParams(scene Scene) Params {
+	return Params{
+		Scene:            scene,
+		Duration:         12,
+		FM:               rf.DefaultFMParams(),
+		Channel:          rf.DefaultChannel(),
+		Relay:            rf.DefaultRelayParams(),
+		Pipeline:         core.DefaultPipeline(),
+		CausalTaps:       160,
+		MaxNonCausalTaps: 32,
+		Mu:               0.05,
+		Seed:             1,
+	}
+}
+
+// Result is the outcome of one simulated run.
+type Result struct {
+	// Scheme that was simulated.
+	Scheme Scheme
+	// Open is the measurement-microphone signal with the ear open and no
+	// cancellation — the paper's reference condition.
+	Open []float64
+	// Off is the measurement with the scheme's passive hardware in place
+	// but active cancellation disabled (equals Open for MUTE_Hollow).
+	Off []float64
+	// On is the measurement with the scheme fully active.
+	On []float64
+	// Residual is the error-microphone signal driving adaptation (equal
+	// to On plus sensor noise).
+	Residual []float64
+	// LookaheadSamples is the geometric lookahead of the scene.
+	LookaheadSamples int
+	// Budget is the lookahead budget LANC ran with (zero-value for the
+	// Bose schemes).
+	Budget core.Budget
+	// UsedNonCausalTaps is the N LANC actually ran with after applying
+	// MaxNonCausalTaps.
+	UsedNonCausalTaps int
+	// Switches is the number of predictive filter switches (profiling
+	// runs only).
+	Switches int
+	// SampleRate echoes the scene rate.
+	SampleRate float64
+}
+
+// Run simulates the scheme and returns the recordings.
+func Run(p Params, scheme Scheme) (*Result, error) {
+	if err := p.Scene.Validate(); err != nil {
+		return nil, err
+	}
+	if p.Duration <= 0 {
+		return nil, fmt.Errorf("sim: duration %g must be positive", p.Duration)
+	}
+	if p.CausalTaps <= 0 {
+		return nil, fmt.Errorf("sim: causal taps %d must be positive", p.CausalTaps)
+	}
+	if p.Mu <= 0 {
+		return nil, fmt.Errorf("sim: mu %g must be positive", p.Mu)
+	}
+	if p.ExtraReferenceDelay < 0 {
+		return nil, fmt.Errorf("sim: negative extra reference delay %d", p.ExtraReferenceDelay)
+	}
+	fs := p.Scene.SampleRate
+	n := int(p.Duration * fs)
+	if n < 1 {
+		return nil, fmt.Errorf("sim: duration too short")
+	}
+
+	// --- Acoustic channels -------------------------------------------------
+	var (
+		refStreams [][]float64 // per-source contribution at the relay mic
+		earStreams [][]float64 // per-source contribution at the ear (open)
+	)
+	for _, src := range p.Scene.Sources {
+		hnr, err := p.Scene.Room.ImpulseResponse(src.Pos, p.Scene.RelayPos, fs)
+		if err != nil {
+			return nil, fmt.Errorf("sim: source→relay RIR: %w", err)
+		}
+		hne, err := p.Scene.Room.ImpulseResponse(src.Pos, p.Scene.EarPos, fs)
+		if err != nil {
+			return nil, fmt.Errorf("sim: source→ear RIR: %w", err)
+		}
+		wave := audio.Render(src.Gen, n)
+		refStreams = append(refStreams, dsp.ConvolveSame(wave, hnr))
+		earStreams = append(earStreams, dsp.ConvolveSame(wave, hne))
+	}
+	ref := sumStreams(refStreams, n)
+	open := sumStreams(earStreams, n)
+
+	// --- Relay and wireless link -------------------------------------------
+	relay, err := rf.NewRelay(p.Relay, fmParamsFor(p, fs))
+	if err != nil {
+		return nil, err
+	}
+	var forwarded []float64
+	if p.UseFMLink {
+		forwarded, err = relay.Forward(ref, p.Channel)
+		if err != nil {
+			return nil, fmt.Errorf("sim: FM link: %w", err)
+		}
+	} else {
+		forwarded = relay.Capture(ref)
+	}
+	if p.ExtraReferenceDelay > 0 {
+		dl, err := dsp.NewDelayLine(p.ExtraReferenceDelay)
+		if err != nil {
+			return nil, err
+		}
+		for i, v := range forwarded {
+			forwarded[i] = dl.Process(v)
+		}
+	}
+
+	// --- Passive isolation --------------------------------------------------
+	underCup := open
+	if scheme.usesPassive() {
+		passive, err := headphone.PassiveIsolation(fs, headphone.DefaultPassiveTaps)
+		if err != nil {
+			return nil, err
+		}
+		// The cup model is minimum-phase (no bulk group delay), so plain
+		// causal convolution is the physically faithful application.
+		underCup = dsp.ConvolveSame(open, passive)
+	}
+
+	// --- Secondary (speaker → error mic) chain ------------------------------
+	// The acoustic part (transducer response and the centimeter air gap)
+	// is shared; each device then adds its own processing latency.
+	trans, err := NewTransducer(fs)
+	if err != nil {
+		return nil, err
+	}
+	acousticSec := dsp.Convolve(trans.ImpulseResponse(48), EarSecondaryPath())
+	var secIR []float64
+	if scheme.usesLANC() {
+		// MUTE's TI-board pipeline: whole samples of converter latency.
+		secIR = acousticSec
+		if pipe := p.Pipeline.Total(); pipe > 0 {
+			delta := make([]float64, pipe+1)
+			delta[pipe] = 1
+			secIR = dsp.Convolve(delta, secIR)
+		}
+	} else {
+		// The commercial headphone's optimized (sub-sample) latency.
+		late := p.BoseLatencySamples
+		if late == 0 {
+			late = 0.5
+		}
+		frac, err := dsp.FractionalDelayFIR(late)
+		if err != nil {
+			return nil, err
+		}
+		secIR = dsp.Convolve(frac, acousticSec)
+	}
+	// Calibrate ĥ_se by probing the true chain, as the paper does with a
+	// known preamble.
+	secEst, err := anc.EstimateSecondaryPath(secIR, len(secIR)+8, 0, p.EarMicNoiseRMS, p.Seed+11)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		Scheme:           scheme,
+		Open:             open,
+		Off:              underCup,
+		LookaheadSamples: p.Scene.LookaheadSamples(),
+		SampleRate:       fs,
+	}
+
+	// --- Active cancellation loop -------------------------------------------
+	earNoise := audio.NewRNG(p.Seed + 23)
+	secCh := dsp.NewStreamConvolver(secIR)
+	on := make([]float64, n)
+	residual := make([]float64, n)
+	switch {
+	case scheme == PassiveOnly:
+		copy(on, underCup)
+		copy(residual, underCup)
+	case scheme.usesLANC():
+		la := res.LookaheadSamples - p.ExtraReferenceDelay
+		if la < 0 {
+			la = 0
+		}
+		budget, err := core.NewBudget(la, p.Pipeline)
+		if err != nil {
+			return nil, err
+		}
+		nTaps := budget.UsableTaps
+		if p.MaxNonCausalTaps > 0 && nTaps > p.MaxNonCausalTaps {
+			nTaps = p.MaxNonCausalTaps
+		}
+		res.Budget = budget
+		res.UsedNonCausalTaps = nTaps
+		cfg := core.Config{
+			NonCausalTaps:    nTaps,
+			CausalTaps:       p.CausalTaps,
+			Mu:               p.Mu,
+			Normalized:       !p.PlainLMS,
+			Leak:             0.0005,
+			SecondaryPath:    secEst,
+			Profiling:        p.Profiling,
+			ProfileWindow:    p.ProfileWindow,
+			ProfileHop:       p.ProfileHop,
+			ProfileThreshold: p.ProfileThreshold,
+			MaxProfiles:      p.MaxProfiles,
+			SampleRate:       fs,
+		}
+		lanc, err := core.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		e := 0.0
+		for t := 0; t < n; t++ {
+			lanc.Adapt(e)
+			lanc.Push(forwarded[t])
+			a := lanc.AntiNoise()
+			meas := underCup[t] + secCh.Process(a)
+			on[t] = meas
+			e = meas + p.EarMicNoiseRMS*earNoise.Norm()
+			residual[t] = e
+		}
+		res.Switches = lanc.Switches()
+	default: // Bose schemes
+		// The headphone's reference mic sits on the cup exterior and
+		// hears the open-ear field; its own pipeline delay is inside
+		// headphone.ANC, and the secondary chain here carries the
+		// remaining physical path.
+		hcfg := headphone.DefaultConfig(fs, secEst)
+		hcfg.PipelineDelaySamples = 0 // physical chain already delays via secIR
+		hp, err := headphone.NewANC(hcfg)
+		if err != nil {
+			return nil, err
+		}
+		e := 0.0
+		for t := 0; t < n; t++ {
+			a := hp.Step(open[t], e)
+			meas := underCup[t] + secCh.Process(a)
+			on[t] = meas
+			e = meas + p.EarMicNoiseRMS*earNoise.Norm()
+			residual[t] = e
+		}
+	}
+	res.On = on
+	res.Residual = residual
+	return res, nil
+}
+
+// fmParamsFor adapts the FM parameters to the scene sample rate.
+func fmParamsFor(p Params, fs float64) rf.FMParams {
+	fm := p.FM
+	if fm.AudioRate == 0 {
+		fm = rf.DefaultFMParams()
+	}
+	fm.AudioRate = fs
+	return fm
+}
+
+func sumStreams(streams [][]float64, n int) []float64 {
+	out := make([]float64, n)
+	for _, s := range streams {
+		for i := 0; i < n && i < len(s); i++ {
+			out[i] += s[i]
+		}
+	}
+	return out
+}
+
+// CancellationDB computes the scheme's cancellation-vs-open spectrum
+// average over [loHz, hiHz] from a result, discarding the first
+// convergence fraction of the recording.
+func (r *Result) CancellationDB(loHz, hiHz float64) (float64, error) {
+	skip := len(r.On) / 2
+	pOn, err := dsp.WelchPSD(r.On[skip:], r.SampleRate, 1024)
+	if err != nil {
+		return 0, err
+	}
+	pOff, err := dsp.WelchPSD(r.Open[skip:], r.SampleRate, 1024)
+	if err != nil {
+		return 0, err
+	}
+	num := pOn.BandPower(loHz, hiHz)
+	den := pOff.BandPower(loHz, hiHz)
+	return dsp.DB((num + dsp.EpsilonPower) / (den + dsp.EpsilonPower)), nil
+}
+
+// ActiveGainDB computes the active-only contribution (On vs Off, both under
+// the same passive hardware) over [loHz, hiHz] — the Bose_Active quantity.
+func (r *Result) ActiveGainDB(loHz, hiHz float64) (float64, error) {
+	skip := len(r.On) / 2
+	pOn, err := dsp.WelchPSD(r.On[skip:], r.SampleRate, 1024)
+	if err != nil {
+		return 0, err
+	}
+	pOff, err := dsp.WelchPSD(r.Off[skip:], r.SampleRate, 1024)
+	if err != nil {
+		return 0, err
+	}
+	num := pOn.BandPower(loHz, hiHz)
+	den := pOff.BandPower(loHz, hiHz)
+	return dsp.DB((num + dsp.EpsilonPower) / (den + dsp.EpsilonPower)), nil
+}
+
+// SteadyState returns the second half of signal x — the converged portion
+// used for spectra.
+func SteadyState(x []float64) []float64 { return x[len(x)/2:] }

@@ -1,0 +1,177 @@
+package sim
+
+import (
+	"fmt"
+
+	"mute/internal/acoustics"
+	"mute/internal/anc"
+	"mute/internal/audio"
+	"mute/internal/core"
+	"mute/internal/dsp"
+)
+
+// MobilityParams configures a head-mobility run (Section 6, "Head
+// Mobility"): the ear device drifts along a straight segment during the
+// run, so the source→ear channel varies with time and the adaptive filter
+// must track it. The simulator recomputes the ear-side impulse response at
+// hop boundaries and cross-fades between segments.
+type MobilityParams struct {
+	// Base carries the common simulation parameters; Base.Scene.EarPos is
+	// the starting position.
+	Base Params
+	// EarEnd is the ear position at the end of the run.
+	EarEnd acoustics.Point
+	// HopSeconds is how often the channel is re-sampled along the path
+	// (default 0.25 s).
+	HopSeconds float64
+}
+
+// RunMobile simulates MUTE_Hollow with a moving ear device and returns the
+// standard Result (Open and On are the moving-ear recordings).
+func RunMobile(mp MobilityParams) (*Result, error) {
+	p := mp.Base
+	if err := p.Scene.Validate(); err != nil {
+		return nil, err
+	}
+	if p.Duration <= 0 {
+		return nil, fmt.Errorf("sim: duration %g must be positive", p.Duration)
+	}
+	if !p.Scene.Room.Inside(mp.EarEnd) {
+		return nil, fmt.Errorf("sim: ear path endpoint %v outside room", mp.EarEnd)
+	}
+	hop := mp.HopSeconds
+	if hop <= 0 {
+		hop = 0.25
+	}
+	fs := p.Scene.SampleRate
+	n := int(p.Duration * fs)
+	hopSamples := int(hop * fs)
+	if hopSamples < 1 {
+		hopSamples = 1
+	}
+
+	// Source waveforms and the (static) relay leg.
+	waves := make([][]float64, len(p.Scene.Sources))
+	ref := make([]float64, n)
+	for i, src := range p.Scene.Sources {
+		waves[i] = audio.Render(src.Gen, n)
+		hnr, err := p.Scene.Room.ImpulseResponse(src.Pos, p.Scene.RelayPos, fs)
+		if err != nil {
+			return nil, err
+		}
+		leg := dsp.ConvolveSame(waves[i], hnr)
+		for t := 0; t < n; t++ {
+			ref[t] += leg[t]
+		}
+	}
+
+	// Moving ear leg: piecewise channels with linear cross-fade across
+	// each hop boundary to avoid clicks.
+	start := p.Scene.EarPos
+	open := make([]float64, n)
+	var prev []*dsp.StreamConvolver
+	var cur []*dsp.StreamConvolver
+	mkChannels := func(pos acoustics.Point) ([]*dsp.StreamConvolver, error) {
+		out := make([]*dsp.StreamConvolver, len(p.Scene.Sources))
+		for i, src := range p.Scene.Sources {
+			h, err := p.Scene.Room.ImpulseResponse(src.Pos, pos, fs)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = dsp.NewStreamConvolver(h)
+		}
+		return out, nil
+	}
+	fade := hopSamples / 4
+	for t := 0; t < n; t++ {
+		if t%hopSamples == 0 {
+			frac := float64(t) / float64(n)
+			pos := acoustics.Point{
+				X: start.X + (mp.EarEnd.X-start.X)*frac,
+				Y: start.Y + (mp.EarEnd.Y-start.Y)*frac,
+				Z: start.Z + (mp.EarEnd.Z-start.Z)*frac,
+			}
+			next, err := mkChannels(pos)
+			if err != nil {
+				return nil, err
+			}
+			prev = cur
+			cur = next
+		}
+		var sNew, sOld float64
+		for i := range p.Scene.Sources {
+			x := waves[i][t]
+			sNew += cur[i].Process(x)
+			if prev != nil {
+				sOld += prev[i].Process(x)
+			}
+		}
+		if prev != nil && t%hopSamples < fade {
+			w := float64(t%hopSamples) / float64(fade)
+			open[t] = w*sNew + (1-w)*sOld
+		} else {
+			open[t] = sNew
+		}
+	}
+
+	// Ear device: same LANC assembly as Run (no passive).
+	trans, err := NewTransducer(fs)
+	if err != nil {
+		return nil, err
+	}
+	secIR := dsp.Convolve(trans.ImpulseResponse(48), EarSecondaryPath())
+	if pipe := p.Pipeline.Total(); pipe > 0 {
+		delta := make([]float64, pipe+1)
+		delta[pipe] = 1
+		secIR = dsp.Convolve(delta, secIR)
+	}
+	secEst, err := anc.EstimateSecondaryPath(secIR, len(secIR)+8, 0, p.EarMicNoiseRMS, p.Seed+11)
+	if err != nil {
+		return nil, err
+	}
+	la := p.Scene.LookaheadSamples()
+	budget, err := core.NewBudget(la, p.Pipeline)
+	if err != nil {
+		return nil, err
+	}
+	nTaps := budget.UsableTaps
+	if p.MaxNonCausalTaps > 0 && nTaps > p.MaxNonCausalTaps {
+		nTaps = p.MaxNonCausalTaps
+	}
+	lanc, err := core.New(core.Config{
+		NonCausalTaps: nTaps,
+		CausalTaps:    p.CausalTaps,
+		Mu:            p.Mu,
+		Normalized:    !p.PlainLMS,
+		Leak:          0.0005,
+		SecondaryPath: secEst,
+	})
+	if err != nil {
+		return nil, err
+	}
+	secCh := dsp.NewStreamConvolver(secIR)
+	earNoise := audio.NewRNG(p.Seed + 23)
+	on := make([]float64, n)
+	residual := make([]float64, n)
+	e := 0.0
+	for t := 0; t < n; t++ {
+		lanc.Adapt(e)
+		lanc.Push(ref[t])
+		a := lanc.AntiNoise()
+		meas := open[t] + secCh.Process(a)
+		on[t] = meas
+		e = meas + p.EarMicNoiseRMS*earNoise.Norm()
+		residual[t] = e
+	}
+	return &Result{
+		Scheme:            MUTEHollow,
+		Open:              open,
+		Off:               open,
+		On:                on,
+		Residual:          residual,
+		LookaheadSamples:  la,
+		Budget:            budget,
+		UsedNonCausalTaps: nTaps,
+		SampleRate:        fs,
+	}, nil
+}

@@ -1,0 +1,169 @@
+package sim
+
+import (
+	"fmt"
+
+	"mute/internal/acoustics"
+	"mute/internal/anc"
+	"mute/internal/audio"
+	"mute/internal/core"
+	"mute/internal/dsp"
+	"mute/internal/rf"
+)
+
+// MultiRelayParams configures a multi-source, multi-relay run: one relay
+// per noise source, each forwarding its own reference stream to an ear
+// device running a multi-reference LANC (the paper's Section 6 multi-source
+// direction, implemented).
+type MultiRelayParams struct {
+	// Base carries the common parameters; Base.Scene.Sources holds the
+	// noise sources and Base.Scene.RelayPos is ignored.
+	Base Params
+	// RelayPositions places one relay per source (len must match the
+	// scene's source count).
+	RelayPositions []acoustics.Point
+}
+
+// RunMultiRelay simulates the multi-reference system and returns the usual
+// Result. Each relay's lookahead is budgeted independently; the ear device
+// sums one adaptive filter per relay.
+func RunMultiRelay(mp MultiRelayParams) (*Result, error) {
+	p := mp.Base
+	if err := p.Scene.Validate(); err != nil {
+		return nil, err
+	}
+	if p.Duration <= 0 {
+		return nil, fmt.Errorf("sim: duration %g must be positive", p.Duration)
+	}
+	if len(mp.RelayPositions) != len(p.Scene.Sources) {
+		return nil, fmt.Errorf("sim: %d relay positions for %d sources",
+			len(mp.RelayPositions), len(p.Scene.Sources))
+	}
+	for i, rp := range mp.RelayPositions {
+		if !p.Scene.Room.Inside(rp) {
+			return nil, fmt.Errorf("sim: relay %d at %v outside room", i, rp)
+		}
+	}
+	fs := p.Scene.SampleRate
+	n := int(p.Duration * fs)
+
+	// Acoustic legs: every source contributes to every relay and to the ear.
+	waves := make([][]float64, len(p.Scene.Sources))
+	for i, src := range p.Scene.Sources {
+		waves[i] = audio.Render(src.Gen, n)
+	}
+	open := make([]float64, n)
+	for i, src := range p.Scene.Sources {
+		hne, err := p.Scene.Room.ImpulseResponse(src.Pos, p.Scene.EarPos, fs)
+		if err != nil {
+			return nil, err
+		}
+		leg := dsp.ConvolveSame(waves[i], hne)
+		for t := range open {
+			open[t] += leg[t]
+		}
+	}
+	refs := make([][]float64, len(mp.RelayPositions))
+	for r, rp := range mp.RelayPositions {
+		refs[r] = make([]float64, n)
+		for i, src := range p.Scene.Sources {
+			hnr, err := p.Scene.Room.ImpulseResponse(src.Pos, rp, fs)
+			if err != nil {
+				return nil, err
+			}
+			leg := dsp.ConvolveSame(waves[i], hnr)
+			for t := range refs[r] {
+				refs[r][t] += leg[t]
+			}
+		}
+		// Relay analog front end (independent mic-noise streams).
+		relayParams := p.Relay
+		relayParams.Seed = p.Relay.Seed + uint64(r)*101
+		relay, err := rf.NewRelay(relayParams, fmParamsFor(p, fs))
+		if err != nil {
+			return nil, err
+		}
+		refs[r] = relay.Capture(refs[r])
+	}
+
+	// Secondary chain and per-relay budgets.
+	trans, err := NewTransducer(fs)
+	if err != nil {
+		return nil, err
+	}
+	secIR := dsp.Convolve(trans.ImpulseResponse(48), EarSecondaryPath())
+	if pipe := p.Pipeline.Total(); pipe > 0 {
+		delta := make([]float64, pipe+1)
+		delta[pipe] = 1
+		secIR = dsp.Convolve(delta, secIR)
+	}
+	secEst, err := anc.EstimateSecondaryPath(secIR, len(secIR)+8, 0, p.EarMicNoiseRMS, p.Seed+11)
+	if err != nil {
+		return nil, err
+	}
+	cfgs := make([]core.Config, len(mp.RelayPositions))
+	minLA := int(^uint(0) >> 1)
+	for r, rp := range mp.RelayPositions {
+		// Lookahead for relay r relative to its paired source.
+		src := p.Scene.Sources[r].Pos
+		la := int(acoustics.DirectDelaySamples(src, p.Scene.EarPos, fs) -
+			acoustics.DirectDelaySamples(src, rp, fs))
+		if la < 0 {
+			la = 0
+		}
+		if la < minLA {
+			minLA = la
+		}
+		budget, err := core.NewBudget(la, p.Pipeline)
+		if err != nil {
+			return nil, err
+		}
+		nTaps := budget.UsableTaps
+		if p.MaxNonCausalTaps > 0 && nTaps > p.MaxNonCausalTaps {
+			nTaps = p.MaxNonCausalTaps
+		}
+		cfgs[r] = core.Config{
+			NonCausalTaps: nTaps,
+			CausalTaps:    p.CausalTaps,
+			Mu:            p.Mu / float64(len(mp.RelayPositions)), // shared error: split the step
+			Normalized:    !p.PlainLMS,
+			Leak:          0.0005,
+			SecondaryPath: secEst,
+		}
+	}
+	multi, err := core.NewMulti(cfgs)
+	if err != nil {
+		return nil, err
+	}
+
+	secCh := dsp.NewStreamConvolver(secIR)
+	earNoise := audio.NewRNG(p.Seed + 23)
+	on := make([]float64, n)
+	residual := make([]float64, n)
+	row := make([]float64, len(refs))
+	e := 0.0
+	for t := 0; t < n; t++ {
+		multi.Adapt(e)
+		for r := range refs {
+			row[r] = refs[r][t]
+		}
+		if err := multi.Push(row); err != nil {
+			return nil, err
+		}
+		a := multi.AntiNoise()
+		meas := open[t] + secCh.Process(a)
+		on[t] = meas
+		e = meas + p.EarMicNoiseRMS*earNoise.Norm()
+		residual[t] = e
+	}
+	return &Result{
+		Scheme:            MUTEHollow,
+		Open:              open,
+		Off:               open,
+		On:                on,
+		Residual:          residual,
+		LookaheadSamples:  minLA,
+		UsedNonCausalTaps: cfgs[0].NonCausalTaps,
+		SampleRate:        fs,
+	}, nil
+}

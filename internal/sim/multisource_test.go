@@ -1,0 +1,83 @@
+package sim
+
+import (
+	"testing"
+
+	"mute/internal/acoustics"
+	"mute/internal/audio"
+)
+
+// twoSourceScene builds a scene with independent wide-band sources at
+// opposite sides of the room.
+func twoSourceScene(seed uint64) Scene {
+	scene := DefaultScene(audio.NewWhiteNoise(seed, fs, 0.4))
+	scene.Sources = append(scene.Sources, Source{
+		Pos: acoustics.Point{X: 1.0, Y: 3.5, Z: 1.5},
+		Gen: audio.NewWhiteNoise(seed+100, fs, 0.4),
+	})
+	return scene
+}
+
+func TestMultiRelayBeatsSingleOnTwoSources(t *testing.T) {
+	// The paper's multi-source limitation: one reference cannot cancel
+	// two independent sources. Two relays, one per source, should.
+	base := DefaultParams(twoSourceScene(1))
+	base.Duration = 10
+	single, err := Run(base, MUTEHollow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sdb, err := single.CancellationDB(50, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base2 := DefaultParams(twoSourceScene(1))
+	base2.Duration = 10
+	multi, err := RunMultiRelay(MultiRelayParams{
+		Base: base2,
+		RelayPositions: []acoustics.Point{
+			{X: 1.0, Y: 2.0, Z: 1.5}, // near source 0 (door)
+			{X: 1.2, Y: 3.3, Z: 1.5}, // near source 1 (north)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mdb, err := multi.CancellationDB(50, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mdb >= sdb-2 {
+		t.Errorf("multi-reference (%.1f dB) should beat single reference (%.1f dB) by > 2 dB on two sources", mdb, sdb)
+	}
+	if mdb > -8 {
+		t.Errorf("multi-reference cancellation = %.1f dB, want < -8", mdb)
+	}
+}
+
+func TestRunMultiRelayValidation(t *testing.T) {
+	base := DefaultParams(twoSourceScene(2))
+	base.Duration = 2
+	if _, err := RunMultiRelay(MultiRelayParams{Base: base, RelayPositions: []acoustics.Point{{X: 1, Y: 2, Z: 1.5}}}); err == nil {
+		t.Error("relay/source count mismatch should error")
+	}
+	if _, err := RunMultiRelay(MultiRelayParams{
+		Base:           base,
+		RelayPositions: []acoustics.Point{{X: 1, Y: 2, Z: 1.5}, {X: 99, Y: 0, Z: 0}},
+	}); err == nil {
+		t.Error("relay outside room should error")
+	}
+	bad := base
+	bad.Duration = 0
+	if _, err := RunMultiRelay(MultiRelayParams{
+		Base:           bad,
+		RelayPositions: []acoustics.Point{{X: 1, Y: 2, Z: 1.5}, {X: 1.2, Y: 3.3, Z: 1.5}},
+	}); err == nil {
+		t.Error("zero duration should error")
+	}
+	badScene := base
+	badScene.Scene = Scene{}
+	if _, err := RunMultiRelay(MultiRelayParams{Base: badScene}); err == nil {
+		t.Error("invalid scene should error")
+	}
+}

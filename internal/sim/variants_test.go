@@ -1,0 +1,154 @@
+package sim
+
+import (
+	"testing"
+
+	"mute/internal/acoustics"
+	"mute/internal/audio"
+)
+
+func TestVariantString(t *testing.T) {
+	names := map[Variant]string{
+		WallRelay:  "WallRelay",
+		Tabletop:   "Tabletop",
+		SmartNoise: "SmartNoise",
+		Variant(9): "Variant(9)",
+	}
+	for v, want := range names {
+		if v.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(v), v.String(), want)
+		}
+	}
+}
+
+func TestSmartNoiseMaximizesLookahead(t *testing.T) {
+	base := DefaultParams(whiteScene(1))
+	base.Duration = 6
+	wall, err := RunVariant(VariantParams{Base: base, Variant: WallRelay})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base2 := DefaultParams(whiteScene(1))
+	base2.Duration = 6
+	smart, err := RunVariant(VariantParams{Base: base2, Variant: SmartNoise})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if smart.LookaheadSamples <= wall.LookaheadSamples {
+		t.Errorf("smart-noise lookahead %d should exceed wall relay %d",
+			smart.LookaheadSamples, wall.LookaheadSamples)
+	}
+	db, err := smart.CancellationDB(50, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db > -6 {
+		t.Errorf("smart-noise cancellation = %.1f dB, want < -6", db)
+	}
+}
+
+func TestTabletopControlLoopCostsCancellation(t *testing.T) {
+	run := func(loop int) float64 {
+		base := DefaultParams(whiteScene(2))
+		base.Duration = 6
+		r, err := RunVariant(VariantParams{Base: base, Variant: Tabletop, ControlLoopDelaySamples: loop})
+		if err != nil {
+			t.Fatal(err)
+		}
+		db, err := r.CancellationDB(50, 4000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return db
+	}
+	tight := run(2)
+	loose := run(40)
+	if tight > -6 {
+		t.Errorf("tabletop with tight loop = %.1f dB, want < -6", tight)
+	}
+	// A large control loop consumes lookahead and delays feedback; with
+	// correctly paired stale errors the penalty is small, but it must not
+	// materially outperform the tight loop.
+	if loose < tight-1.5 {
+		t.Errorf("loose loop (%.1f dB) should not beat tight loop (%.1f dB) by > 1.5 dB", loose, tight)
+	}
+}
+
+func TestTabletopErrors(t *testing.T) {
+	base := DefaultParams(whiteScene(3))
+	if _, err := RunVariant(VariantParams{Base: base, Variant: Tabletop, ControlLoopDelaySamples: -1}); err == nil {
+		t.Error("negative loop delay should error")
+	}
+	bad := base
+	bad.Duration = 0
+	if _, err := RunVariant(VariantParams{Base: bad, Variant: Tabletop}); err == nil {
+		t.Error("zero duration should error")
+	}
+	if _, err := RunVariant(VariantParams{Base: base, Variant: Variant(42)}); err == nil {
+		t.Error("unknown variant should error")
+	}
+}
+
+func TestRunMobileTracksMovingEar(t *testing.T) {
+	base := DefaultParams(whiteScene(4))
+	base.Duration = 6
+	r, err := RunMobile(MobilityParams{
+		Base:   base,
+		EarEnd: acoustics.Point{X: 3.6, Y: 2.4, Z: 1.2}, // ~0.6 m drift
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := r.CancellationDB(50, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db > -3 {
+		t.Errorf("mobile-ear cancellation = %.1f dB, want < -3 (tracking)", db)
+	}
+	// Mobility should cost something versus the static run.
+	static, err := Run(base, MUTEHollow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sdb, err := static.CancellationDB(50, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db < sdb-1 {
+		t.Errorf("moving ear (%.1f dB) should not beat static (%.1f dB)", db, sdb)
+	}
+}
+
+func TestRunMobileErrors(t *testing.T) {
+	base := DefaultParams(whiteScene(5))
+	if _, err := RunMobile(MobilityParams{Base: base, EarEnd: acoustics.Point{X: 99}}); err == nil {
+		t.Error("endpoint outside room should error")
+	}
+	bad := base
+	bad.Duration = 0
+	if _, err := RunMobile(MobilityParams{Base: bad, EarEnd: base.Scene.EarPos}); err == nil {
+		t.Error("zero duration should error")
+	}
+	bad2 := DefaultParams(Scene{})
+	if _, err := RunMobile(MobilityParams{Base: bad2, EarEnd: base.Scene.EarPos}); err == nil {
+		t.Error("invalid scene should error")
+	}
+}
+
+func TestRunMobileStationaryMatchesStaticClosely(t *testing.T) {
+	// Degenerate path (start == end) should behave like the static run.
+	base := DefaultParams(DefaultScene(audio.NewWhiteNoise(6, fs, 0.5)))
+	base.Duration = 4
+	r, err := RunMobile(MobilityParams{Base: base, EarEnd: base.Scene.EarPos})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := r.CancellationDB(50, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db > -6 {
+		t.Errorf("stationary mobile run = %.1f dB, want < -6", db)
+	}
+}

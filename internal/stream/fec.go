@@ -1,0 +1,141 @@
+package stream
+
+import "fmt"
+
+// Forward error correction for the waveform transport: after every group
+// of K data frames the sender emits one parity frame whose samples are the
+// scaled sum of the group's samples. If exactly one data frame of a group
+// is lost, the receiver reconstructs it as K·parity − Σ(received). The
+// arithmetic runs in the PCM domain, so reconstruction error is bounded by
+// K quantization steps (~K/32767) — inaudible against concealment, which
+// would otherwise zero the whole frame and cost LANC its reference.
+
+// FECEncoder accumulates data frames and produces parity frames.
+type FECEncoder struct {
+	group int
+	acc   []float64
+	count int
+	first uint64 // timestamp of the group's first frame
+	size  int    // samples per frame within the group
+}
+
+// NewFECEncoder creates an encoder emitting one parity frame per group of
+// K data frames (2 <= K <= 127).
+func NewFECEncoder(group int) (*FECEncoder, error) {
+	if group < 2 || group > 127 {
+		return nil, fmt.Errorf("stream: FEC group %d outside [2, 127]", group)
+	}
+	return &FECEncoder{group: group}, nil
+}
+
+// Add feeds one data frame. It returns a parity frame when the group
+// completes, or nil. All frames of a group must carry the same sample
+// count; a size change flushes the partial group without parity protection.
+func (e *FECEncoder) Add(f *Frame) *Frame {
+	if e.count == 0 || len(f.Samples) != e.size {
+		e.size = len(f.Samples)
+		e.acc = make([]float64, e.size)
+		e.count = 0
+		e.first = f.Timestamp
+	}
+	if e.count == 0 {
+		e.first = f.Timestamp
+	}
+	for i, s := range f.Samples {
+		e.acc[i] += s
+	}
+	e.count++
+	if e.count < e.group {
+		return nil
+	}
+	parity := &Frame{
+		Seq:       f.Seq, // shares the last data frame's seq space; flags mark it
+		Timestamp: e.first,
+		Parity:    true,
+		GroupSize: uint8(e.group),
+		Samples:   make([]float64, e.size),
+	}
+	inv := 1 / float64(e.group)
+	for i, v := range e.acc {
+		parity.Samples[i] = v * inv
+	}
+	e.acc = make([]float64, e.size)
+	e.count = 0
+	return parity
+}
+
+// FECDecoder buffers recent data frames and reconstructs a single missing
+// frame per group when its parity arrives.
+type FECDecoder struct {
+	// recent maps timestamp → frame for data frames seen lately.
+	recent map[uint64]*Frame
+	// horizon bounds the map size (frames).
+	horizon int
+	order   []uint64
+}
+
+// NewFECDecoder creates a decoder retaining up to horizon recent data
+// frames (default 64 when horizon <= 0).
+func NewFECDecoder(horizon int) *FECDecoder {
+	if horizon <= 0 {
+		horizon = 64
+	}
+	return &FECDecoder{recent: make(map[uint64]*Frame), horizon: horizon}
+}
+
+// Add feeds a received frame. Data frames are remembered and returned
+// as-is; a parity frame returns the reconstructed missing data frame when
+// exactly one frame of its group is absent, else nil.
+func (d *FECDecoder) Add(f *Frame) *Frame {
+	if !f.Parity {
+		if _, ok := d.recent[f.Timestamp]; !ok {
+			d.recent[f.Timestamp] = f
+			d.order = append(d.order, f.Timestamp)
+			if len(d.order) > d.horizon {
+				delete(d.recent, d.order[0])
+				d.order = d.order[1:]
+			}
+		}
+		return f
+	}
+	k := int(f.GroupSize)
+	if k < 2 || len(f.Samples) == 0 {
+		return nil
+	}
+	size := uint64(len(f.Samples))
+	missingTS := uint64(0)
+	missing := 0
+	sum := make([]float64, len(f.Samples))
+	for g := 0; g < k; g++ {
+		ts := f.Timestamp + uint64(g)*size
+		df, ok := d.recent[ts]
+		if !ok {
+			missing++
+			missingTS = ts
+			continue
+		}
+		if len(df.Samples) != len(f.Samples) {
+			return nil // group shape mismatch; cannot reconstruct
+		}
+		for i, s := range df.Samples {
+			sum[i] += s
+		}
+	}
+	if missing != 1 {
+		return nil
+	}
+	rec := &Frame{Timestamp: missingTS, Samples: make([]float64, len(f.Samples))}
+	for i := range rec.Samples {
+		v := float64(k)*f.Samples[i] - sum[i]
+		if v > 1 {
+			v = 1
+		} else if v < -1 {
+			v = -1
+		}
+		rec.Samples[i] = v
+	}
+	// Remember the reconstruction so a duplicate parity cannot re-emit it.
+	d.recent[missingTS] = rec
+	d.order = append(d.order, missingTS)
+	return rec
+}

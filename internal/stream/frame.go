@@ -1,0 +1,112 @@
+// Package stream implements MUTE's real-time waveform transport for
+// deployments where the relay and ear device are separate processes or
+// hosts: audio frames over UDP with sequence numbers and sample-clock
+// timestamps, a reordering jitter buffer, and zero-fill loss concealment.
+//
+// The paper's relay is purely analog FM; this package is the IP-network
+// equivalent used by the live demo binaries (cmd/muterelay, cmd/muteear)
+// and the edge-service example, preserving the property that matters to
+// LANC: samples arrive with their capture clock attached, so the receiver
+// knows exactly how much lookahead each sample carries.
+package stream
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Frame is one transport unit: a block of samples stamped with the index
+// of its first sample in the relay's capture clock.
+type Frame struct {
+	// Seq increments per frame; used for loss/reorder accounting.
+	Seq uint32
+	// Timestamp is the capture-clock index of Samples[0]. For parity
+	// frames it is the timestamp of the group's first data frame.
+	Timestamp uint64
+	// Parity marks a forward-error-correction parity frame (see fec.go).
+	Parity bool
+	// GroupSize is the FEC group size carried by parity frames.
+	GroupSize uint8
+	// Samples is the audio payload in [-1, 1].
+	Samples []float64
+}
+
+const (
+	frameMagic   = 0x4D55 // "MU"
+	frameVersion = 1
+	headerSize   = 2 + 1 + 1 + 4 + 8 + 2 // magic, version, flags, seq, ts, count
+	// MaxFrameSamples bounds the payload so frames fit comfortably in a
+	// single UDP datagram (1200-byte payload budget).
+	MaxFrameSamples = (1200 - headerSize) / 2
+)
+
+// Marshal encodes the frame into wire format (16-bit PCM payload).
+func (f *Frame) Marshal() ([]byte, error) {
+	if len(f.Samples) == 0 {
+		return nil, fmt.Errorf("stream: empty frame")
+	}
+	if len(f.Samples) > MaxFrameSamples {
+		return nil, fmt.Errorf("stream: frame of %d samples exceeds max %d", len(f.Samples), MaxFrameSamples)
+	}
+	buf := make([]byte, headerSize+2*len(f.Samples))
+	binary.BigEndian.PutUint16(buf[0:2], frameMagic)
+	buf[2] = frameVersion
+	// Flags: bit 0 marks parity, bits 1-7 carry the FEC group size.
+	var flags byte
+	if f.Parity {
+		if f.GroupSize < 2 {
+			return nil, fmt.Errorf("stream: parity frame needs a group size >= 2")
+		}
+		flags = 1 | f.GroupSize<<1
+	}
+	buf[3] = flags
+	binary.BigEndian.PutUint32(buf[4:8], f.Seq)
+	binary.BigEndian.PutUint64(buf[8:16], f.Timestamp)
+	binary.BigEndian.PutUint16(buf[16:18], uint16(len(f.Samples)))
+	for i, s := range f.Samples {
+		if s > 1 {
+			s = 1
+		} else if s < -1 {
+			s = -1
+		}
+		v := int16(math.Round(s * 32767))
+		binary.BigEndian.PutUint16(buf[headerSize+2*i:], uint16(v))
+	}
+	return buf, nil
+}
+
+// Unmarshal decodes a wire frame.
+func Unmarshal(data []byte) (*Frame, error) {
+	if len(data) < headerSize {
+		return nil, fmt.Errorf("stream: short frame (%d bytes)", len(data))
+	}
+	if binary.BigEndian.Uint16(data[0:2]) != frameMagic {
+		return nil, fmt.Errorf("stream: bad magic")
+	}
+	if data[2] != frameVersion {
+		return nil, fmt.Errorf("stream: unsupported version %d", data[2])
+	}
+	count := int(binary.BigEndian.Uint16(data[16:18]))
+	if count == 0 || count > MaxFrameSamples {
+		return nil, fmt.Errorf("stream: invalid sample count %d", count)
+	}
+	if len(data) < headerSize+2*count {
+		return nil, fmt.Errorf("stream: truncated payload (%d bytes for %d samples)", len(data)-headerSize, count)
+	}
+	f := &Frame{
+		Seq:       binary.BigEndian.Uint32(data[4:8]),
+		Timestamp: binary.BigEndian.Uint64(data[8:16]),
+		Parity:    data[3]&1 == 1,
+		GroupSize: data[3] >> 1,
+		Samples:   make([]float64, count),
+	}
+	if f.Parity && f.GroupSize < 2 {
+		return nil, fmt.Errorf("stream: parity frame with invalid group size %d", f.GroupSize)
+	}
+	for i := 0; i < count; i++ {
+		v := int16(binary.BigEndian.Uint16(data[headerSize+2*i:]))
+		f.Samples[i] = float64(v) / 32767
+	}
+	return f, nil
+}

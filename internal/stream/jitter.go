@@ -1,0 +1,141 @@
+package stream
+
+import (
+	"fmt"
+	"sync"
+)
+
+// JitterStats counts transport events observed by the buffer.
+type JitterStats struct {
+	// FramesReceived is the number of frames accepted.
+	FramesReceived uint64
+	// FramesDuplicate counts frames whose samples were already consumed
+	// or buffered.
+	FramesDuplicate uint64
+	// FramesLate counts frames that arrived after their playout point.
+	FramesLate uint64
+	// SamplesConcealed counts zero-filled (lost) samples handed out.
+	SamplesConcealed uint64
+	// SamplesDelivered counts real samples handed out.
+	SamplesDelivered uint64
+}
+
+// JitterBuffer reassembles timestamped frames into an ordered sample
+// stream. Missing samples are concealed with zeros (losing lookahead, not
+// correctness — LANC degrades gracefully when reference samples are
+// silent). It is safe for one writer and one reader goroutine.
+type JitterBuffer struct {
+	mu      sync.Mutex
+	frames  map[uint64]*Frame // keyed by Timestamp
+	next    uint64            // capture-clock index of the next sample out
+	started bool
+	depth   int // max buffered frames
+	stats   JitterStats
+}
+
+// NewJitterBuffer creates a buffer holding at most depth frames.
+func NewJitterBuffer(depth int) (*JitterBuffer, error) {
+	if depth <= 0 {
+		return nil, fmt.Errorf("stream: jitter depth must be positive, got %d", depth)
+	}
+	return &JitterBuffer{frames: make(map[uint64]*Frame), depth: depth}, nil
+}
+
+// Push inserts a received frame. The first frame anchors the playout
+// clock. Frames entirely before the playout point are dropped as late.
+func (j *JitterBuffer) Push(f *Frame) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if !j.started {
+		j.next = f.Timestamp
+		j.started = true
+	}
+	if f.Timestamp+uint64(len(f.Samples)) <= j.next {
+		j.stats.FramesLate++
+		return
+	}
+	if _, dup := j.frames[f.Timestamp]; dup {
+		j.stats.FramesDuplicate++
+		return
+	}
+	if len(j.frames) >= j.depth {
+		// Drop the oldest buffered frame to bound memory.
+		var oldest uint64
+		first := true
+		for ts := range j.frames {
+			if first || ts < oldest {
+				oldest = ts
+				first = false
+			}
+		}
+		delete(j.frames, oldest)
+		j.stats.FramesLate++
+	}
+	j.frames[f.Timestamp] = f
+	j.stats.FramesReceived++
+}
+
+// Pop fills dst with the next len(dst) samples of the reassembled stream,
+// zero-filling gaps, and advances the playout clock. It returns the number
+// of real (non-concealed) samples delivered. Before any frame has arrived,
+// dst is all zeros and the clock does not advance.
+func (j *JitterBuffer) Pop(dst []float64) int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for i := range dst {
+		dst[i] = 0
+	}
+	if !j.started {
+		return 0
+	}
+	real := 0
+	for i := 0; i < len(dst); {
+		ts := j.next + uint64(i)
+		f, off := j.findLocked(ts)
+		if f == nil {
+			j.stats.SamplesConcealed++
+			i++
+			continue
+		}
+		// Copy as much of this frame as fits.
+		for off < len(f.Samples) && i < len(dst) {
+			dst[i] = f.Samples[off]
+			off++
+			i++
+			real++
+			j.stats.SamplesDelivered++
+		}
+		if off >= len(f.Samples) {
+			delete(j.frames, f.Timestamp)
+		}
+	}
+	j.next += uint64(len(dst))
+	return real
+}
+
+// findLocked locates the buffered frame containing capture index ts.
+func (j *JitterBuffer) findLocked(ts uint64) (*Frame, int) {
+	if f, ok := j.frames[ts]; ok {
+		return f, 0
+	}
+	for start, f := range j.frames {
+		if ts > start && ts < start+uint64(len(f.Samples)) {
+			return f, int(ts - start)
+		}
+	}
+	return nil, 0
+}
+
+// Buffered returns the number of frames currently held.
+func (j *JitterBuffer) Buffered() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.frames)
+}
+
+// Stats returns a snapshot of the transport counters.
+func (j *JitterBuffer) Stats() JitterStats {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.stats
+}

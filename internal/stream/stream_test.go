@@ -1,0 +1,299 @@
+package stream
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"mute/internal/audio"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	in := Frame{
+		Seq:       42,
+		Timestamp: 123456789,
+		Samples:   audio.Render(audio.NewWhiteNoise(1, 8000, 0.9), 160),
+	}
+	buf, err := in.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Unmarshal(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Seq != in.Seq || out.Timestamp != in.Timestamp || len(out.Samples) != len(in.Samples) {
+		t.Fatalf("header mismatch: %+v", out)
+	}
+	for i := range in.Samples {
+		if math.Abs(out.Samples[i]-in.Samples[i]) > 1.0/32000 {
+			t.Fatalf("sample %d: %g vs %g", i, out.Samples[i], in.Samples[i])
+		}
+	}
+}
+
+func TestFrameRoundTripProperty(t *testing.T) {
+	f := func(seq uint32, ts uint64, seed uint64) bool {
+		n := int(seed%uint64(MaxFrameSamples)) + 1
+		in := Frame{Seq: seq, Timestamp: ts, Samples: audio.Render(audio.NewWhiteNoise(seed, 8000, 0.8), n)}
+		buf, err := in.Marshal()
+		if err != nil {
+			return false
+		}
+		out, err := Unmarshal(buf)
+		if err != nil || out.Seq != seq || out.Timestamp != ts || len(out.Samples) != n {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFrameMarshalErrors(t *testing.T) {
+	if _, err := (&Frame{}).Marshal(); err == nil {
+		t.Error("empty frame should error")
+	}
+	big := Frame{Samples: make([]float64, MaxFrameSamples+1)}
+	if _, err := big.Marshal(); err == nil {
+		t.Error("oversized frame should error")
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	if _, err := Unmarshal([]byte{1, 2, 3}); err == nil {
+		t.Error("short buffer should error")
+	}
+	good, err := (&Frame{Samples: []float64{0.5}}).Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := append([]byte(nil), good...)
+	bad[0] = 0xFF
+	if _, err := Unmarshal(bad); err == nil {
+		t.Error("bad magic should error")
+	}
+	bad = append([]byte(nil), good...)
+	bad[2] = 99
+	if _, err := Unmarshal(bad); err == nil {
+		t.Error("bad version should error")
+	}
+	bad = append([]byte(nil), good...)
+	bad[16], bad[17] = 0xFF, 0xFF
+	if _, err := Unmarshal(bad); err == nil {
+		t.Error("oversized count should error")
+	}
+	if _, err := Unmarshal(good[:len(good)-1]); err == nil {
+		t.Error("truncated payload should error")
+	}
+}
+
+func TestFrameClipsSamples(t *testing.T) {
+	in := Frame{Samples: []float64{3, -3}}
+	buf, err := in.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Unmarshal(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(out.Samples[0]-1) > 1e-3 || math.Abs(out.Samples[1]+1) > 1e-3 {
+		t.Errorf("clipping failed: %v", out.Samples)
+	}
+}
+
+func TestJitterBufferInOrder(t *testing.T) {
+	jb, err := NewJitterBuffer(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jb.Push(&Frame{Seq: 0, Timestamp: 0, Samples: []float64{1, 2}})
+	jb.Push(&Frame{Seq: 1, Timestamp: 2, Samples: []float64{3, 4}})
+	dst := make([]float64, 4)
+	real := jb.Pop(dst)
+	if real != 4 {
+		t.Errorf("delivered %d real samples, want 4", real)
+	}
+	want := []float64{1, 2, 3, 4}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("dst = %v", dst)
+		}
+	}
+}
+
+func TestJitterBufferReorder(t *testing.T) {
+	jb, _ := NewJitterBuffer(16)
+	jb.Push(&Frame{Seq: 1, Timestamp: 2, Samples: []float64{3, 4}})
+	jb.Push(&Frame{Seq: 0, Timestamp: 0, Samples: []float64{1, 2}})
+	dst := make([]float64, 4)
+	jb.Pop(dst)
+	// The first frame pushed anchored the clock at ts=2; ts 0-1 are in the
+	// past. The anchor frame plays first.
+	if dst[0] != 3 || dst[1] != 4 {
+		t.Errorf("anchor frame should play first: %v", dst)
+	}
+}
+
+func TestJitterBufferLossConcealment(t *testing.T) {
+	jb, _ := NewJitterBuffer(16)
+	jb.Push(&Frame{Seq: 0, Timestamp: 0, Samples: []float64{1, 2}})
+	// Frame at ts=2 lost; frame at ts=4 arrives.
+	jb.Push(&Frame{Seq: 2, Timestamp: 4, Samples: []float64{5, 6}})
+	dst := make([]float64, 6)
+	real := jb.Pop(dst)
+	if real != 4 {
+		t.Errorf("real = %d, want 4", real)
+	}
+	want := []float64{1, 2, 0, 0, 5, 6}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("dst = %v, want %v", dst, want)
+		}
+	}
+	st := jb.Stats()
+	if st.SamplesConcealed != 2 {
+		t.Errorf("concealed = %d, want 2", st.SamplesConcealed)
+	}
+}
+
+func TestJitterBufferLateAndDuplicate(t *testing.T) {
+	jb, _ := NewJitterBuffer(16)
+	jb.Push(&Frame{Seq: 0, Timestamp: 0, Samples: []float64{1, 2}})
+	dst := make([]float64, 2)
+	jb.Pop(dst)
+	// ts=0 is now in the past.
+	jb.Push(&Frame{Seq: 0, Timestamp: 0, Samples: []float64{1, 2}})
+	if st := jb.Stats(); st.FramesLate != 1 {
+		t.Errorf("late = %d, want 1", st.FramesLate)
+	}
+	jb.Push(&Frame{Seq: 3, Timestamp: 10, Samples: []float64{9}})
+	jb.Push(&Frame{Seq: 3, Timestamp: 10, Samples: []float64{9}})
+	if st := jb.Stats(); st.FramesDuplicate != 1 {
+		t.Errorf("dup = %d, want 1", st.FramesDuplicate)
+	}
+}
+
+func TestJitterBufferDepthBound(t *testing.T) {
+	jb, _ := NewJitterBuffer(2)
+	jb.Push(&Frame{Seq: 0, Timestamp: 0, Samples: []float64{1}})
+	jb.Push(&Frame{Seq: 1, Timestamp: 1, Samples: []float64{2}})
+	jb.Push(&Frame{Seq: 2, Timestamp: 2, Samples: []float64{3}})
+	if jb.Buffered() != 2 {
+		t.Errorf("buffered = %d, want 2 (depth bound)", jb.Buffered())
+	}
+}
+
+func TestJitterBufferBeforeStart(t *testing.T) {
+	jb, _ := NewJitterBuffer(4)
+	dst := []float64{9, 9}
+	if real := jb.Pop(dst); real != 0 {
+		t.Errorf("pop before start delivered %d", real)
+	}
+	if dst[0] != 0 || dst[1] != 0 {
+		t.Error("pop before start should zero-fill")
+	}
+}
+
+func TestJitterBufferErrors(t *testing.T) {
+	if _, err := NewJitterBuffer(0); err == nil {
+		t.Error("zero depth should error")
+	}
+}
+
+func TestUDPEndToEnd(t *testing.T) {
+	rx, err := NewReceiver("127.0.0.1:0", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rx.Close()
+	tx, err := NewSender(rx.Addr(), 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tx.Close()
+
+	in := audio.Render(audio.NewTone(440, 8000, 0.5, 0), 800)
+	if err := tx.Send(in); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Drain packets.
+	deadline := time.Now().Add(2 * time.Second)
+	for rx.Buffered() < 10 && time.Now().Before(deadline) {
+		if _, err := rx.Poll(50 * time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out := make([]float64, 800)
+	got := rx.Pop(out)
+	if got < 700 {
+		t.Fatalf("delivered %d real samples, want ≈ 800", got)
+	}
+	for i := 0; i < got; i++ {
+		if math.Abs(out[i]-in[i]) > 1.0/16000 {
+			t.Fatalf("sample %d: %g vs %g", i, out[i], in[i])
+		}
+	}
+	st := rx.Stats()
+	if st.FramesReceived != 10 {
+		t.Errorf("frames received = %d, want 10", st.FramesReceived)
+	}
+}
+
+func TestSenderErrors(t *testing.T) {
+	if _, err := NewSender("127.0.0.1:1", 0); err == nil {
+		t.Error("zero frame size should error")
+	}
+	if _, err := NewSender("127.0.0.1:1", MaxFrameSamples+1); err == nil {
+		t.Error("oversized frame size should error")
+	}
+	if _, err := NewSender("bad::::addr", 80); err == nil {
+		t.Error("bad address should error")
+	}
+}
+
+func TestReceiverErrors(t *testing.T) {
+	if _, err := NewReceiver("bad::::addr", 8); err == nil {
+		t.Error("bad address should error")
+	}
+	if _, err := NewReceiver("127.0.0.1:0", 0); err == nil {
+		t.Error("zero depth should error")
+	}
+}
+
+func TestReceiverPollTimeout(t *testing.T) {
+	rx, err := NewReceiver("127.0.0.1:0", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rx.Close()
+	got, err := rx.Poll(20 * time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got {
+		t.Error("poll on silent socket should time out with false")
+	}
+}
+
+func TestSenderFlushEmpty(t *testing.T) {
+	rx, err := NewReceiver("127.0.0.1:0", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rx.Close()
+	tx, err := NewSender(rx.Addr(), 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tx.Close()
+	if err := tx.Flush(); err != nil {
+		t.Errorf("empty flush should be a no-op, got %v", err)
+	}
+}

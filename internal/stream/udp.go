@@ -1,0 +1,174 @@
+package stream
+
+import (
+	"fmt"
+	"net"
+	"time"
+)
+
+// Sender streams audio frames to a UDP peer. It is the network-transport
+// face of the IoT relay.
+type Sender struct {
+	conn         net.Conn
+	frameSamples int
+	seq          uint32
+	clock        uint64
+	pending      []float64
+	fec          *FECEncoder
+}
+
+// NewSender dials the receiver address ("host:port") and returns a sender
+// that packs frameSamples samples per datagram.
+func NewSender(addr string, frameSamples int) (*Sender, error) {
+	if frameSamples <= 0 || frameSamples > MaxFrameSamples {
+		return nil, fmt.Errorf("stream: frame size %d outside (0, %d]", frameSamples, MaxFrameSamples)
+	}
+	conn, err := net.Dial("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("stream: dial %s: %w", addr, err)
+	}
+	return &Sender{conn: conn, frameSamples: frameSamples}, nil
+}
+
+// EnableFEC turns on forward error correction: one parity frame follows
+// every group of K data frames, letting the receiver reconstruct a single
+// lost frame per group. Call before the first Send.
+func (s *Sender) EnableFEC(group int) error {
+	enc, err := NewFECEncoder(group)
+	if err != nil {
+		return err
+	}
+	s.fec = enc
+	return nil
+}
+
+// Send queues samples and transmits every complete frame. Partial frames
+// wait for more samples (call Flush to force them out).
+func (s *Sender) Send(samples []float64) error {
+	s.pending = append(s.pending, samples...)
+	for len(s.pending) >= s.frameSamples {
+		if err := s.emit(s.pending[:s.frameSamples]); err != nil {
+			return err
+		}
+		s.pending = s.pending[s.frameSamples:]
+	}
+	return nil
+}
+
+// Flush transmits any buffered partial frame.
+func (s *Sender) Flush() error {
+	if len(s.pending) == 0 {
+		return nil
+	}
+	err := s.emit(s.pending)
+	s.pending = nil
+	return err
+}
+
+func (s *Sender) emit(block []float64) error {
+	f := Frame{Seq: s.seq, Timestamp: s.clock, Samples: block}
+	if err := s.write(&f); err != nil {
+		return err
+	}
+	s.seq++
+	s.clock += uint64(len(block))
+	if s.fec != nil {
+		if parity := s.fec.Add(&f); parity != nil {
+			parity.Seq = s.seq
+			s.seq++
+			if err := s.write(parity); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (s *Sender) write(f *Frame) error {
+	buf, err := f.Marshal()
+	if err != nil {
+		return err
+	}
+	if _, err := s.conn.Write(buf); err != nil {
+		return fmt.Errorf("stream: send frame %d: %w", f.Seq, err)
+	}
+	return nil
+}
+
+// Close releases the socket.
+func (s *Sender) Close() error { return s.conn.Close() }
+
+// Receiver listens for audio frames on a UDP port and feeds a jitter
+// buffer. It is the network-transport face of the ear device.
+type Receiver struct {
+	conn      *net.UDPConn
+	jb        *JitterBuffer
+	buf       []byte
+	fec       *FECDecoder
+	recovered uint64
+}
+
+// NewReceiver listens on addr (e.g. "127.0.0.1:0") with a jitter buffer of
+// the given frame depth.
+func NewReceiver(addr string, depth int) (*Receiver, error) {
+	udpAddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("stream: resolve %s: %w", addr, err)
+	}
+	conn, err := net.ListenUDP("udp", udpAddr)
+	if err != nil {
+		return nil, fmt.Errorf("stream: listen %s: %w", addr, err)
+	}
+	jb, err := NewJitterBuffer(depth)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return &Receiver{conn: conn, jb: jb, buf: make([]byte, 2048), fec: NewFECDecoder(4 * depth)}, nil
+}
+
+// Addr returns the bound listen address (useful with port 0).
+func (r *Receiver) Addr() string { return r.conn.LocalAddr().String() }
+
+// Poll reads at most one datagram, waiting up to timeout. It returns true
+// if a frame was received and buffered, false on timeout. Malformed
+// datagrams are dropped with an error return.
+func (r *Receiver) Poll(timeout time.Duration) (bool, error) {
+	if err := r.conn.SetReadDeadline(time.Now().Add(timeout)); err != nil {
+		return false, err
+	}
+	n, _, err := r.conn.ReadFromUDP(r.buf)
+	if err != nil {
+		if ne, ok := err.(net.Error); ok && ne.Timeout() {
+			return false, nil
+		}
+		return false, fmt.Errorf("stream: read: %w", err)
+	}
+	f, err := Unmarshal(r.buf[:n])
+	if err != nil {
+		return false, err
+	}
+	out := r.fec.Add(f)
+	if out != nil {
+		if out != f {
+			r.recovered++
+		}
+		r.jb.Push(out)
+	}
+	return true, nil
+}
+
+// Recovered returns how many lost frames FEC has reconstructed.
+func (r *Receiver) Recovered() uint64 { return r.recovered }
+
+// Pop drains the next len(dst) ordered samples from the jitter buffer.
+func (r *Receiver) Pop(dst []float64) int { return r.jb.Pop(dst) }
+
+// Stats returns jitter-buffer statistics.
+func (r *Receiver) Stats() JitterStats { return r.jb.Stats() }
+
+// Buffered returns the number of frames waiting in the jitter buffer.
+func (r *Receiver) Buffered() int { return r.jb.Buffered() }
+
+// Close releases the socket.
+func (r *Receiver) Close() error { return r.conn.Close() }

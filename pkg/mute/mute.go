@@ -1,0 +1,309 @@
+// Package mute is the public API of the MUTE reproduction — a
+// lookahead-aware active noise cancellation system in which an IoT relay
+// forwards ambient sound over a wireless link so the ear device hears the
+// noise milliseconds before it arrives acoustically (Shen et al.,
+// SIGCOMM 2018).
+//
+// The package offers three levels of entry:
+//
+//   - Scenario simulation: build a Scene (room, sources, relay, ear),
+//     choose a Scheme, and Run it to obtain recordings and cancellation
+//     reports. This is what the examples and the benchmark harness use.
+//
+//   - Algorithm embedding: NewCanceller exposes the LANC adaptive filter
+//     directly for integration into custom sample loops, along with
+//     lookahead budgeting (PlanBudget) and relay selection (SelectRelay).
+//
+//   - Live transport: Sender/Receiver stream timestamped audio frames
+//     over UDP for split relay/ear deployments (see cmd/muterelay and
+//     cmd/muteear).
+package mute
+
+import (
+	"fmt"
+	"os"
+
+	"mute/internal/acoustics"
+	"mute/internal/audio"
+	"mute/internal/core"
+	"mute/internal/dsp"
+	"mute/internal/metrics"
+	"mute/internal/relaysel"
+	"mute/internal/sim"
+	"mute/internal/stream"
+)
+
+// Geometry and scenario types.
+type (
+	// Point is a 3-D position in meters.
+	Point = acoustics.Point
+	// Room is a rectangular room with absorptive walls.
+	Room = acoustics.Room
+	// Scene is a physical experiment layout.
+	Scene = sim.Scene
+	// Source is a positioned sound source.
+	Source = sim.Source
+	// Params configures a simulation run.
+	Params = sim.Params
+	// Result holds a run's recordings and budget.
+	Result = sim.Result
+	// Scheme selects the cancellation system under test.
+	Scheme = sim.Scheme
+	// Generator produces a sample stream.
+	Generator = audio.Generator
+)
+
+// The comparison schemes of the paper's evaluation.
+const (
+	// MUTEHollow is the open-ear MUTE device.
+	MUTEHollow = sim.MUTEHollow
+	// MUTEPassive is MUTE running inside a passive ear cup.
+	MUTEPassive = sim.MUTEPassive
+	// BoseActive is the conventional headphone's ANC contribution.
+	BoseActive = sim.BoseActive
+	// BoseOverall is the conventional headphone end to end.
+	BoseOverall = sim.BoseOverall
+	// PassiveOnly is the ear cup alone.
+	PassiveOnly = sim.PassiveOnly
+)
+
+// DefaultRoom returns the furnished-office room model.
+func DefaultRoom() Room { return acoustics.DefaultRoom() }
+
+// DefaultScene builds the Figure 1 office layout around a noise generator.
+func DefaultScene(gen Generator) Scene { return sim.DefaultScene(gen) }
+
+// DefaultParams returns the standard evaluation parameters for a scene.
+func DefaultParams(scene Scene) Params { return sim.DefaultParams(scene) }
+
+// Run simulates a scheme and returns its recordings.
+func Run(p Params, scheme Scheme) (*Result, error) { return sim.Run(p, scheme) }
+
+// Lookahead returns the lookahead time in seconds that a relay at relayPos
+// provides for a source heard at earPos (Equation 4 of the paper).
+func Lookahead(source, relayPos, earPos Point) float64 {
+	return acoustics.Lookahead(source, relayPos, earPos)
+}
+
+// Report summarizes a run for human consumption.
+type Report struct {
+	// Scheme names the simulated system.
+	Scheme string
+	// FullBandDB is the average cancellation over [50, 4000] Hz.
+	FullBandDB float64
+	// LowBandDB is the average over [50, 1000] Hz.
+	LowBandDB float64
+	// HighBandDB is the average over [1000, 4000] Hz.
+	HighBandDB float64
+	// LookaheadMs is the geometric lookahead in milliseconds.
+	LookaheadMs float64
+	// NonCausalTaps is the lookahead LANC spent on non-causal filtering.
+	NonCausalTaps int
+}
+
+// Summarize derives a Report from a Result.
+func Summarize(r *Result) (Report, error) {
+	full, err := r.CancellationDB(50, 4000)
+	if err != nil {
+		return Report{}, err
+	}
+	low, err := r.CancellationDB(50, 1000)
+	if err != nil {
+		return Report{}, err
+	}
+	high, err := r.CancellationDB(1000, 4000)
+	if err != nil {
+		return Report{}, err
+	}
+	return Report{
+		Scheme:        r.Scheme.String(),
+		FullBandDB:    full,
+		LowBandDB:     low,
+		HighBandDB:    high,
+		LookaheadMs:   float64(r.LookaheadSamples) / r.SampleRate * 1000,
+		NonCausalTaps: r.UsedNonCausalTaps,
+	}, nil
+}
+
+// String renders the report as a one-line summary.
+func (rep Report) String() string {
+	return fmt.Sprintf("%-13s full %6.1f dB | <1 kHz %6.1f dB | >1 kHz %6.1f dB | lookahead %.1f ms (N=%d)",
+		rep.Scheme, rep.FullBandDB, rep.LowBandDB, rep.HighBandDB, rep.LookaheadMs, rep.NonCausalTaps)
+}
+
+// Spectrum computes the cancellation-vs-frequency curve of a run (the
+// paper's Figure 12/14 y-axis) from the steady-state recordings.
+func Spectrum(r *Result) (freqs, dB []float64, err error) {
+	cs, err := metrics.NewCancellationSpectrum(
+		sim.SteadyState(r.Open), sim.SteadyState(r.On), r.SampleRate, 1024)
+	if err != nil {
+		return nil, nil, err
+	}
+	return cs.Freqs, cs.DB, nil
+}
+
+// SaveWAV writes samples as a 16-bit mono WAV file.
+func SaveWAV(path string, samples []float64, sampleRate int) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("mute: create %s: %w", path, err)
+	}
+	defer f.Close()
+	if err := audio.WriteWAV(f, samples, sampleRate); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadWAV reads a 16-bit PCM WAV file into mono samples.
+func LoadWAV(path string) ([]float64, int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, fmt.Errorf("mute: open %s: %w", path, err)
+	}
+	defer f.Close()
+	return audio.ReadWAV(f)
+}
+
+// --- Generators -------------------------------------------------------------
+
+// WhiteNoise returns the wide-band unpredictable test signal of Figure 12.
+func WhiteNoise(seed uint64, sampleRate, amp float64) Generator {
+	return audio.NewWhiteNoise(seed, sampleRate, amp)
+}
+
+// MachineHum returns periodic machine noise (fundamental + harmonics).
+func MachineHum(seed uint64, fundamentalHz, sampleRate, amp float64) Generator {
+	return audio.NewMachineHum(seed, fundamentalHz, sampleRate, amp, 8)
+}
+
+// MaleSpeech returns an intermittent male talker.
+func MaleSpeech(seed uint64, sampleRate, amp float64) Generator {
+	return audio.NewSpeech(seed, audio.MaleVoice, sampleRate, amp)
+}
+
+// FemaleSpeech returns an intermittent female talker.
+func FemaleSpeech(seed uint64, sampleRate, amp float64) Generator {
+	return audio.NewSpeech(seed, audio.FemaleVoice, sampleRate, amp)
+}
+
+// Music returns a melodic wide-band source.
+func Music(seed uint64, sampleRate, amp float64) Generator {
+	return audio.NewMusic(seed, sampleRate, amp, 3)
+}
+
+// Construction returns impulsive construction-site noise.
+func Construction(seed uint64, sampleRate, amp float64) Generator {
+	return audio.NewConstructionNoise(seed, sampleRate, amp)
+}
+
+// Babble returns overlapping corridor conversation.
+func Babble(seed uint64, talkers int, sampleRate, amp float64) Generator {
+	return audio.NewBabble(seed, talkers, sampleRate, amp)
+}
+
+// Traffic returns road noise: engine rumble plus vehicle pass-bys.
+// density is vehicles per minute.
+func Traffic(seed uint64, sampleRate, amp, density float64) Generator {
+	return audio.NewTraffic(seed, sampleRate, amp, density)
+}
+
+// Announcement returns public-address announcements: chime, sentence,
+// long silence — the airport scenario of the paper's introduction.
+func Announcement(seed uint64, sampleRate, amp float64) Generator {
+	return audio.NewAnnouncement(seed, sampleRate, amp)
+}
+
+// FromSamples wraps recorded samples (e.g. from LoadWAV) as a looping
+// noise source, resampling from srcRate to dstRate when they differ.
+func FromSamples(data []float64, srcRate, dstRate float64, loop bool) (Generator, error) {
+	resampled, err := dsp.Resample(data, srcRate, dstRate)
+	if err != nil {
+		return nil, err
+	}
+	return audio.NewSliceSource(resampled, dstRate, loop), nil
+}
+
+// --- Architectural variants and mobility -------------------------------------
+
+// Variant selects one of the paper's Section 4.3 architectures.
+type Variant = sim.Variant
+
+// The architectural variants of Figure 10.
+const (
+	// WallRelay is the evaluated basic architecture.
+	WallRelay = sim.WallRelay
+	// Tabletop hosts the DSP at a portable relay (Figure 10(a)).
+	Tabletop = sim.Tabletop
+	// SmartNoise attaches the relay to the noise source (Figure 10(c)).
+	SmartNoise = sim.SmartNoise
+)
+
+// VariantParams configures a variant run.
+type VariantParams = sim.VariantParams
+
+// RunVariant simulates an architectural variant with the MUTE algorithm.
+func RunVariant(vp VariantParams) (*Result, error) { return sim.RunVariant(vp) }
+
+// MobilityParams configures a moving-ear run.
+type MobilityParams = sim.MobilityParams
+
+// RunMobile simulates MUTE with the ear device drifting along a segment,
+// exercising channel tracking (the head-mobility concern of Section 6).
+func RunMobile(mp MobilityParams) (*Result, error) { return sim.RunMobile(mp) }
+
+// --- Algorithm embedding ----------------------------------------------------
+
+// CancellerConfig configures an embedded LANC instance.
+type CancellerConfig = core.Config
+
+// Canceller is the LANC adaptive filter for custom sample loops: call
+// Push with each wirelessly received reference sample, play AntiNoise
+// through your speaker, and feed the measured residual to Adapt.
+type Canceller = core.LANC
+
+// NewCanceller creates an embedded LANC instance.
+func NewCanceller(cfg CancellerConfig) (*Canceller, error) { return core.New(cfg) }
+
+// PipelineDelays models converter/DSP/speaker latency (Equation 3).
+type PipelineDelays = core.PipelineDelays
+
+// LookaheadBudget splits available lookahead between the processing
+// pipeline and non-causal filter taps.
+type LookaheadBudget = core.Budget
+
+// PlanBudget computes the lookahead budget for a deployment.
+func PlanBudget(lookaheadSamples int, p PipelineDelays) (LookaheadBudget, error) {
+	return core.NewBudget(lookaheadSamples, p)
+}
+
+// --- Relay selection ----------------------------------------------------------
+
+// RelaySelection is the outcome of a GCC-PHAT relay-selection round.
+type RelaySelection = relaysel.Selection
+
+// SelectRelay correlates each relay's forwarded stream against the locally
+// heard signal and picks the relay with the largest positive lookahead, or
+// Best == -1 when every relay lags (Section 4.2).
+func SelectRelay(forwarded [][]float64, local []float64, maxLag int) (*RelaySelection, error) {
+	return relaysel.SelectRelay(forwarded, local, maxLag, 1, 0.05)
+}
+
+// --- Live transport -----------------------------------------------------------
+
+// Sender streams timestamped audio frames to a UDP peer (the relay side).
+type Sender = stream.Sender
+
+// Receiver reassembles streamed frames through a jitter buffer (the ear
+// side).
+type Receiver = stream.Receiver
+
+// NewSender dials a receiver address with the given frame size in samples.
+func NewSender(addr string, frameSamples int) (*Sender, error) {
+	return stream.NewSender(addr, frameSamples)
+}
+
+// NewReceiver listens on addr with the given jitter-buffer depth.
+func NewReceiver(addr string, depth int) (*Receiver, error) {
+	return stream.NewReceiver(addr, depth)
+}
