@@ -22,6 +22,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"mute/internal/experiments"
@@ -29,13 +31,16 @@ import (
 
 func main() {
 	var (
-		figID    = flag.String("fig", "fig12", "experiment id or 'all'")
-		list     = flag.Bool("list", false, "list experiment ids and exit")
-		csv      = flag.Bool("csv", false, "emit CSV instead of tables")
-		jsonOut  = flag.Bool("json", false, "emit JSON instead of tables")
-		duration = flag.Float64("duration", 0, "seconds of simulated audio per run (0 = default)")
-		seed     = flag.Uint64("seed", 0, "simulation seed (0 = default)")
-		useFM    = flag.Bool("fm", false, "route reference audio through the full FM chain")
+		figID      = flag.String("fig", "fig12", "experiment id or 'all'")
+		list       = flag.Bool("list", false, "list experiment ids and exit")
+		csv        = flag.Bool("csv", false, "emit CSV instead of tables")
+		jsonOut    = flag.Bool("json", false, "emit JSON instead of tables")
+		duration   = flag.Float64("duration", 0, "seconds of simulated audio per run (0 = default)")
+		seed       = flag.Uint64("seed", 0, "simulation seed (0 = default)")
+		useFM      = flag.Bool("fm", false, "route reference audio through the full FM chain")
+		workers    = flag.Int("workers", 0, "experiment worker pool size (0 = one per CPU, 1 = sequential)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -43,10 +48,35 @@ func main() {
 		fmt.Println("fig12 fig13 fig14 fig15 fig16 fig17 fig18 fig19 lookahead ablation-taps ablation-fmsnr ablation-nlms variants mobility contention tracker multisource all")
 		return
 	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			runtime.GC() // report live allocations, not transient garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+		}()
+	}
 	cfg := experiments.Config{
 		Duration:  *duration,
 		Seed:      *seed,
 		UseFMLink: *useFM,
+		Workers:   *workers,
 	}
 	var figs []*experiments.Figure
 	if *figID == "all" {

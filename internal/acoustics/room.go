@@ -63,7 +63,18 @@ func (r Room) Inside(p Point) bool {
 // taps are normalized so the direct path has the spherical-spreading gain
 // relative to refDist = 1 m. The response includes fractional-delay
 // interpolation so sub-sample path-length differences are preserved.
+//
+// Results are memoized process-wide (see rircache.go): the image-source
+// enumeration is O(order³) and every scheme in an experiment figure asks
+// for the same handful of geometries, so repeat calls return a copy of the
+// cached taps. The cache is safe for concurrent use.
 func (r Room) ImpulseResponse(src, dst Point, sampleRate float64) ([]float64, error) {
+	return cachedImpulseResponse(r, src, dst, sampleRate)
+}
+
+// computeImpulseResponse is the uncached image-source computation backing
+// ImpulseResponse.
+func (r Room) computeImpulseResponse(src, dst Point, sampleRate float64) ([]float64, error) {
 	if err := r.Validate(); err != nil {
 		return nil, err
 	}

@@ -120,13 +120,20 @@ type LANC struct {
 	w []float64
 
 	// Reference and filtered-x windows. Both expose offsets
-	// [-L, +N] around the current time t.
-	xBuf   *dsp.LookaheadBuffer
-	fxBuf  *dsp.LookaheadBuffer
-	sec    *dsp.StreamConvolver
-	fxPow  float64
-	xPow   float64
-	errVar float64 // running residual variance for robust update clipping
+	// [-L, +N] around the current time t, plus one extra history slot so
+	// the fused Step can read the sample that just slid past -L-ErrorDelay.
+	xBuf  *dsp.LookaheadBuffer
+	fxBuf *dsp.LookaheadBuffer
+	sec   *dsp.StreamConvolver
+	// NLMS window powers over offsets [-L, +N], maintained incrementally:
+	// each Push adds the entering sample and subtracts the leaving one
+	// (O(1)), with an exact rescan every window length to cancel
+	// floating-point drift (amortized O(1)).
+	fxPow    float64
+	xPow     float64
+	powAge   int // pushes since the last exact rescan
+	powEvery int // rescan cadence in samples
+	errVar   float64 // running residual variance for robust update clipping
 
 	// Profiling state.
 	classifier *profile.Classifier
@@ -149,20 +156,27 @@ func New(cfg Config) (*LANC, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	xb, err := dsp.NewLookaheadBuffer(cfg.CausalTaps+cfg.ErrorDelay, cfg.NonCausalTaps)
+	// The +1 history slot lets the fused Step address the pre-push window
+	// after the buffers have advanced (see Step).
+	xb, err := dsp.NewLookaheadBuffer(cfg.CausalTaps+cfg.ErrorDelay+1, cfg.NonCausalTaps)
 	if err != nil {
 		return nil, err
 	}
-	fxb, err := dsp.NewLookaheadBuffer(cfg.CausalTaps+cfg.ErrorDelay, cfg.NonCausalTaps)
+	fxb, err := dsp.NewLookaheadBuffer(cfg.CausalTaps+cfg.ErrorDelay+1, cfg.NonCausalTaps)
 	if err != nil {
 		return nil, err
+	}
+	powEvery := cfg.NonCausalTaps + cfg.CausalTaps + 1
+	if powEvery < 64 {
+		powEvery = 64
 	}
 	l := &LANC{
-		cfg:   cfg,
-		w:     make([]float64, cfg.NonCausalTaps+cfg.CausalTaps+1),
-		xBuf:  xb,
-		fxBuf: fxb,
-		sec:   dsp.NewStreamConvolver(cfg.SecondaryPath),
+		cfg:      cfg,
+		w:        make([]float64, cfg.NonCausalTaps+cfg.CausalTaps+1),
+		xBuf:     xb,
+		fxBuf:    fxb,
+		sec:      dsp.NewStreamConvolver(cfg.SecondaryPath),
+		powEvery: powEvery,
 	}
 	if cfg.Profiling {
 		cl, err := profile.NewClassifier(cfg.ProfileThreshold, cfg.MaxProfiles)
@@ -180,51 +194,82 @@ func New(cfg Config) (*LANC, error) {
 // advances the algorithm's clock to time t. It must be called exactly once
 // per sample period, before AntiNoise and Adapt for that period.
 func (l *LANC) Push(x float64) {
-	l.xBuf.Push(x)
-	l.fxBuf.Push(l.sec.Process(x))
-	// Maintain running filtered-x power across the whole tap window for
-	// normalized updates.
-	if l.cfg.Normalized {
-		l.fxPow = 0
-		l.xPow = 0
-		for k := -l.cfg.NonCausalTaps; k <= l.cfg.CausalTaps; k++ {
-			v := l.fxBuf.At(-k)
-			l.fxPow += v * v
-			u := l.xBuf.At(-k)
-			l.xPow += u * u
-		}
-	}
+	l.pushSignal(x)
 	if l.cfg.Profiling {
 		l.profileStep(x)
 	}
 }
 
+// pushSignal advances the reference and filtered-x buffers and maintains
+// the NLMS window powers with an O(1) sliding update: the pushed sample
+// enters the [-L, +N] window at +N while the sample at -L slides out.
+func (l *LANC) pushSignal(x float64) {
+	fx := l.sec.Process(x)
+	if l.cfg.Normalized {
+		outX := l.xBuf.At(-l.cfg.CausalTaps)
+		outFx := l.fxBuf.At(-l.cfg.CausalTaps)
+		l.xPow += x*x - outX*outX
+		l.fxPow += fx*fx - outFx*outFx
+	}
+	l.xBuf.Push(x)
+	l.fxBuf.Push(fx)
+	if l.cfg.Normalized {
+		l.powAge++
+		if l.powAge >= l.powEvery {
+			l.powAge = 0
+			l.rescanPower()
+		}
+	}
+}
+
+// rescanPower recomputes the window powers exactly, cancelling any
+// accumulated floating-point drift of the sliding update. Called every
+// powEvery (≥ window length) samples, so its O(N+L) cost amortizes to O(1)
+// per sample.
+func (l *LANC) rescanPower() {
+	xs := l.xBuf.View(-l.cfg.CausalTaps, l.cfg.NonCausalTaps)
+	fxs := l.fxBuf.View(-l.cfg.CausalTaps, l.cfg.NonCausalTaps)
+	var xp, fp float64
+	for i, v := range xs {
+		xp += v * v
+		f := fxs[i]
+		fp += f * f
+	}
+	l.xPow = xp
+	l.fxPow = fp
+}
+
 // AntiNoise returns the anti-noise sample α(t) = Σ_{k=-N}^{L} h_AF(k) x(t−k)
 // (Equation 8). The caller plays it through the anti-noise speaker.
 func (l *LANC) AntiNoise() float64 {
+	// Tap i holds k = i - N, so x(t-k) walks the window [-L, +N] backwards:
+	// one contiguous reversed dot product instead of per-tap At() calls.
+	xv := l.xBuf.View(-l.cfg.CausalTaps, l.cfg.NonCausalTaps)
+	base := len(l.w) - 1
 	var a float64
 	for i, wi := range l.w {
-		k := i - l.cfg.NonCausalTaps
-		a += wi * l.xBuf.At(-k)
+		a += wi * xv[base-i]
 	}
 	return a
 }
 
-// Adapt applies the filtered-x gradient step for the measured residual
-// e(t) at the error microphone (Equation 7, extended to k < 0):
-// h_AF(k) ← h_AF(k) − µ e(t) (ĥ_se ∗ x)(t−k).
-func (l *LANC) Adapt(e float64) {
-	// Robust clipping: impulsive residuals (hammer strikes, clicks) carry
-	// gradients far outside the LMS stability region; limit the error to
-	// a few standard deviations of its recent history (Huber-style).
+// clipError applies the robust residual clipping: impulsive residuals
+// (hammer strikes, clicks) carry gradients far outside the LMS stability
+// region; limit the error to a few standard deviations of its recent
+// history (Huber-style).
+func (l *LANC) clipError(e float64) float64 {
 	l.errVar = 0.998*l.errVar + 0.002*e*e
 	if limit := 3 * math.Sqrt(l.errVar); limit > 0 && (e > limit || e < -limit) {
 		if e > 0 {
-			e = limit
-		} else {
-			e = -limit
+			return limit
 		}
+		return -limit
 	}
+	return e
+}
+
+// effectiveMu returns the step size after NLMS power normalization.
+func (l *LANC) effectiveMu() float64 {
 	mu := l.cfg.Mu
 	if l.cfg.Normalized {
 		// The regularizer keeps the effective step bounded through quiet
@@ -233,26 +278,71 @@ func (l *LANC) Adapt(e float64) {
 		// transducer's high-pass corner) from inflating the step.
 		mu /= l.fxPow + 0.05*l.xPow + 1e-3
 	}
-	leak := 1 - l.cfg.Leak*l.cfg.Mu
-	for i := range l.w {
-		k := i - l.cfg.NonCausalTaps
-		w := l.w[i]
-		if l.cfg.Leak > 0 {
-			w *= leak
+	return mu
+}
+
+// Adapt applies the filtered-x gradient step for the measured residual
+// e(t) at the error microphone (Equation 7, extended to k < 0):
+// h_AF(k) ← h_AF(k) − µ e(t) (ĥ_se ∗ x)(t−k).
+func (l *LANC) Adapt(e float64) {
+	e = l.clipError(e)
+	muE := l.effectiveMu() * e
+	// A stale error (ErrorDelay > 0) pairs with the equally stale
+	// filtered-x history: tap i needs (ĥ_se ∗ x) at offset N-i-ErrorDelay,
+	// i.e. the window below walked backwards.
+	fxv := l.fxBuf.View(-l.cfg.CausalTaps-l.cfg.ErrorDelay, l.cfg.NonCausalTaps-l.cfg.ErrorDelay)
+	base := len(l.w) - 1
+	if l.cfg.Leak > 0 {
+		leak := 1 - l.cfg.Leak*l.cfg.Mu
+		for i := range l.w {
+			l.w[i] = l.w[i]*leak - muE*fxv[base-i]
 		}
-		// A stale error (ErrorDelay > 0) pairs with the equally stale
-		// filtered-x history.
-		l.w[i] = w - mu*e*l.fxBuf.At(-k-l.cfg.ErrorDelay)
+		return
+	}
+	for i := range l.w {
+		l.w[i] -= muE * fxv[base-i]
 	}
 }
 
-// Step is the per-sample convenience wrapper used by simple deployments:
-// push the newest forwarded sample, emit the anti-noise for the current
-// instant, and adapt with the error measured for the previous instant.
+// Step is the fused per-sample fast path used by the simulator and simple
+// deployments: it is exactly Adapt(ePrev); Push(xNew); AntiNoise(), but the
+// adapt and anti-noise tap loops run as a single pass over contiguous
+// buffer views — one read of the filtered-x window, one read of the
+// reference window, one write of the weights per sample.
 func (l *LANC) Step(xNew, ePrev float64) float64 {
-	l.Adapt(ePrev)
-	l.Push(xNew)
-	return l.AntiNoise()
+	// Sequential semantics: the gradient for ePrev uses the powers and
+	// filtered-x history as they stood before xNew arrived.
+	e := l.clipError(ePrev)
+	muE := l.effectiveMu() * e
+	l.pushSignal(xNew)
+	// Post-push, every pre-push sample sits one slot deeper; the buffers'
+	// extra history slot keeps the oldest gradient sample addressable.
+	fxv := l.fxBuf.View(-l.cfg.CausalTaps-l.cfg.ErrorDelay-1, l.cfg.NonCausalTaps-l.cfg.ErrorDelay-1)
+	xv := l.xBuf.View(-l.cfg.CausalTaps, l.cfg.NonCausalTaps)
+	base := len(l.w) - 1
+	var a float64
+	if l.cfg.Leak > 0 {
+		leak := 1 - l.cfg.Leak*l.cfg.Mu
+		for i, wi := range l.w {
+			wi = wi*leak - muE*fxv[base-i]
+			l.w[i] = wi
+			a += wi * xv[base-i]
+		}
+	} else {
+		for i, wi := range l.w {
+			wi -= muE * fxv[base-i]
+			l.w[i] = wi
+			a += wi * xv[base-i]
+		}
+	}
+	if l.cfg.Profiling {
+		if l.profileStep(xNew) {
+			// A cached filter was swapped in for this very sample; the
+			// anti-noise must come from the incoming profile's weights.
+			a = l.AntiNoise()
+		}
+	}
+	return a
 }
 
 // Weights returns a copy of h_AF indexed so that Weights()[i] is the tap
@@ -301,6 +391,7 @@ func (l *LANC) Reset() {
 	l.sec.Reset()
 	l.fxPow = 0
 	l.xPow = 0
+	l.powAge = 0
 	l.errVar = 0
 	l.winFill = 0
 	l.hopCount = 0
@@ -311,29 +402,37 @@ func (l *LANC) Reset() {
 	l.pendingRun = 0
 	l.switches = 0
 	if l.cfg.Profiling {
-		l.classifier, _ = profile.NewClassifier(l.cfg.ProfileThreshold, l.cfg.MaxProfiles)
+		// Resetting the existing classifier (rather than constructing a new
+		// one and discarding its error) keeps Reset infallible: the config
+		// was already validated in New.
+		l.classifier.Reset()
 		l.cache = profile.NewFilterCache()
+		for i := range l.window {
+			l.window[i] = 0
+		}
 	}
 }
 
 // profileStep slides the raw-signal window (which ends at the most-future
 // sample) and, every hop, classifies it. On a profile change it caches the
 // outgoing filter and loads the cached filter for the incoming profile.
-func (l *LANC) profileStep(xNew float64) {
+// It reports whether a cached filter was copied into the live weights, so
+// the fused Step knows to recompute the anti-noise output.
+func (l *LANC) profileStep(xNew float64) bool {
 	copy(l.window, l.window[1:])
 	l.window[len(l.window)-1] = xNew
 	if l.winFill < len(l.window) {
 		l.winFill++
-		return
+		return false
 	}
 	l.hopCount++
 	if l.hopCount < l.cfg.ProfileHop {
-		return
+		return false
 	}
 	l.hopCount = 0
 	sig, err := profile.Compute(l.window, l.cfg.SampleRate, l.cfg.ProfileBands)
 	if err != nil {
-		return
+		return false
 	}
 	// Exponentially smooth the signature across hops so syllable-scale
 	// texture (voiced vs fricative frames of the same talker) does not
@@ -359,26 +458,29 @@ func (l *LANC) profileStep(xNew float64) {
 	id, _ := l.classifier.Classify(smoothed)
 	if id == l.currentID {
 		l.pendingRun = 0
-		return
+		return false
 	}
 	// Require two consecutive hops agreeing on the new profile before
 	// switching, so syllable-scale fluctuations do not thrash the cache.
 	if id != l.pendingID {
 		l.pendingID = id
 		l.pendingRun = 1
-		return
+		return false
 	}
 	l.pendingRun++
 	if l.pendingRun < 2 {
-		return
+		return false
 	}
 	// Imminent transition: cache the converged filter for the outgoing
 	// profile and preload the incoming one if we have seen it before.
 	l.cache.Store(l.currentID, l.w)
+	loaded := false
 	if cached := l.cache.Load(id); cached != nil {
 		copy(l.w, cached)
+		loaded = true
 	}
 	l.currentID = id
 	l.pendingRun = 0
 	l.switches++
+	return loaded
 }

@@ -69,49 +69,130 @@ func CrossCorrelate(a, b []float64) []float64 {
 // StreamConvolver applies a fixed FIR impulse response to an unbounded
 // sample stream one sample at a time, maintaining internal history.
 // It models an acoustic or electrical channel in the sample-clock simulator.
+//
+// History is kept as a double-write ring (2*len(h) storage, each sample
+// written to two slots len(h) apart) so the per-sample tap loop walks one
+// contiguous slice with no wrap branch. For long impulse responses,
+// ProcessBlock switches to partitioned overlap-save convolution on the
+// existing FFT, which is how the simulator pre-renders room channels.
 type StreamConvolver struct {
 	h    []float64
-	hist []float64 // circular history of inputs, len == len(h)
-	pos  int
+	hist []float64 // double-write ring, len == 2*len(h)
+	pos  int       // write cursor in [0, len(h))
+
+	// Lazily built overlap-save plan for the block path.
+	fftH []complex128 // FFT of h at size fftN
+	fftN int          // FFT length (power of two)
+	step int          // fresh samples produced per FFT block
 }
+
+// olsMinKernel is the impulse-response length above which ProcessBlock
+// switches from the per-sample loop to partitioned overlap-save. Short
+// kernels are faster direct; the crossover is broad and this is a
+// conservative pick (compare Convolve's direct/FFT threshold).
+const olsMinKernel = 96
 
 // NewStreamConvolver builds a streaming convolver for impulse response h.
 // A nil or empty h behaves as a zero channel (output always 0).
 func NewStreamConvolver(h []float64) *StreamConvolver {
 	hc := make([]float64, len(h))
 	copy(hc, h)
-	return &StreamConvolver{h: hc, hist: make([]float64, len(h))}
+	return &StreamConvolver{h: hc, hist: make([]float64, 2*len(h))}
 }
 
 // Process consumes one input sample and returns the convolved output sample.
 func (s *StreamConvolver) Process(x float64) float64 {
-	if len(s.h) == 0 {
+	m := len(s.h)
+	if m == 0 {
 		return 0
 	}
 	s.hist[s.pos] = x
+	s.hist[s.pos+m] = x
+	// The mirrored slot makes hist[pos+m-j] = x[t-j] for all j in [0, m).
+	newest := s.pos + m
 	var acc float64
-	// hist[pos] is x[t]; hist[pos-1] is x[t-1], wrapping around.
-	idx := s.pos
-	for _, hv := range s.h {
-		acc += hv * s.hist[idx]
-		idx--
-		if idx < 0 {
-			idx = len(s.hist) - 1
-		}
+	for j, hv := range s.h {
+		acc += hv * s.hist[newest-j]
 	}
 	s.pos++
-	if s.pos == len(s.hist) {
+	if s.pos == m {
 		s.pos = 0
 	}
 	return acc
 }
 
 // ProcessBlock convolves a whole block, returning one output per input.
+// Long impulse responses on long blocks take the partitioned overlap-save
+// path; results match the per-sample loop to floating-point accuracy and
+// the streaming history stays consistent, so Process/ProcessBlock calls can
+// be interleaved freely.
 func (s *StreamConvolver) ProcessBlock(x []float64) []float64 {
+	if len(s.h) >= olsMinKernel && len(x) >= 2*len(s.h) {
+		return s.processOverlapSave(x)
+	}
 	out := make([]float64, len(x))
 	for i, v := range x {
 		out[i] = s.Process(v)
 	}
+	return out
+}
+
+// ensurePlan builds (once) the FFT plan for the overlap-save path.
+func (s *StreamConvolver) ensurePlan() {
+	if s.fftH != nil {
+		return
+	}
+	n := NextPow2(4 * len(s.h))
+	if n < 1024 {
+		n = 1024
+	}
+	s.fftN = n
+	s.step = n - (len(s.h) - 1)
+	s.fftH = FFTReal(s.h, n)
+}
+
+// processOverlapSave runs partitioned overlap-save: the input (prefixed
+// with the streaming history) is cut into overlapping FFT-sized segments,
+// each multiplied by the cached kernel spectrum, and the alias-free tail of
+// every inverse transform is the output. One O(n log n) pass per block
+// replaces len(h) multiplies per sample.
+func (s *StreamConvolver) processOverlapSave(x []float64) []float64 {
+	s.ensurePlan()
+	m := len(s.h)
+	overlap := m - 1
+	// ext = [last m-1 inputs, x...] so segment b sees the history it needs.
+	ext := make([]float64, overlap+len(x))
+	for i := 0; i < overlap; i++ {
+		// Chronological history: the sample j pushes ago lives at
+		// pos-1-j (mod m); the double-write mirror makes pos+m-1-j safe.
+		ext[i] = s.hist[s.pos+m-overlap+i]
+	}
+	copy(ext[overlap:], x)
+
+	out := make([]float64, len(x))
+	seg := make([]float64, s.fftN)
+	for b := 0; b < len(x); b += s.step {
+		n := copy(seg, ext[b:])
+		for i := n; i < s.fftN; i++ {
+			seg[i] = 0
+		}
+		X := FFTReal(seg, s.fftN)
+		for k := range X {
+			X[k] *= s.fftH[k]
+		}
+		y := IFFTReal(X)
+		// The first overlap outputs are circularly aliased; the rest are
+		// exact linear convolution.
+		lim := min(s.step, len(x)-b)
+		copy(out[b:b+lim], y[overlap:overlap+lim])
+	}
+
+	// Restore the streaming history: the last m inputs, chronologically,
+	// with the write cursor on the oldest slot.
+	tail := ext[len(ext)-m:]
+	copy(s.hist[:m], tail)
+	copy(s.hist[m:], tail)
+	s.pos = 0
 	return out
 }
 

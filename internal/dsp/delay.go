@@ -105,8 +105,15 @@ func lagrange4(mu float64) []float64 {
 // This is the data structure that makes LANC's non-causal taps realizable:
 // the wireless channel delivers x(t+N) while the acoustic channel is still
 // delivering x(t).
+//
+// Internally the buffer is a double-write ring: storage is twice the window
+// length and every sample is written to two slots a window apart, so the
+// live window is always available as one contiguous slice (see View) and
+// Push costs O(1) instead of the O(window) shift of a linear register.
 type LookaheadBuffer struct {
-	buf       []float64 // shift register: buf[history] is "current", last element is newest
+	buf       []float64 // 2*win storage; window = buf[pos : pos+win]
+	win       int       // history + lookahead + 1
+	pos       int       // ring write cursor in [0, win)
 	lookahead int       // samples of future available
 	history   int       // samples of past retained
 	pushes    int       // total samples pushed, saturating at lookahead+1
@@ -118,8 +125,10 @@ func NewLookaheadBuffer(history, lookahead int) (*LookaheadBuffer, error) {
 	if history < 0 || lookahead < 0 {
 		return nil, fmt.Errorf("dsp: negative buffer size (history=%d lookahead=%d)", history, lookahead)
 	}
+	win := history + lookahead + 1
 	return &LookaheadBuffer{
-		buf:       make([]float64, history+lookahead+1),
+		buf:       make([]float64, 2*win),
+		win:       win,
 		lookahead: lookahead,
 		history:   history,
 	}, nil
@@ -129,8 +138,12 @@ func NewLookaheadBuffer(history, lookahead int) (*LookaheadBuffer, error) {
 // position by one. Until lookahead+1 samples have been pushed, the current
 // sample and its history are still the zeros the buffer was primed with.
 func (l *LookaheadBuffer) Push(x float64) {
-	copy(l.buf, l.buf[1:])
-	l.buf[len(l.buf)-1] = x
+	l.buf[l.pos] = x
+	l.buf[l.pos+l.win] = x
+	l.pos++
+	if l.pos == l.win {
+		l.pos = 0
+	}
 	if l.pushes <= l.lookahead {
 		l.pushes++
 	}
@@ -145,10 +158,24 @@ func (l *LookaheadBuffer) Primed() bool { return l.pushes > l.lookahead }
 // Offsets outside the window return 0.
 func (l *LookaheadBuffer) At(k int) float64 {
 	idx := l.history + k
-	if idx < 0 || idx >= len(l.buf) {
+	if idx < 0 || idx >= l.win {
 		return 0
 	}
-	return l.buf[idx]
+	return l.buf[l.pos+idx]
+}
+
+// View returns the samples for offsets [lo, hi] as a zero-copy slice s with
+// s[j] = At(lo+j). The offsets must lie within [-History, +Lookahead]. The
+// slice aliases the ring storage: it is read-only and invalidated by the
+// next Push. This is the accessor the per-sample kernels use to turn
+// tap loops into contiguous array walks.
+func (l *LookaheadBuffer) View(lo, hi int) []float64 {
+	if lo < -l.history || hi > l.lookahead || lo > hi {
+		panic(fmt.Sprintf("dsp: view [%d, %d] outside buffer window [%d, %d]",
+			lo, hi, -l.history, l.lookahead))
+	}
+	start := l.pos + l.history + lo
+	return l.buf[start : start+hi-lo+1]
 }
 
 // Lookahead returns the number of future samples available.
@@ -160,9 +187,7 @@ func (l *LookaheadBuffer) History() int { return l.history }
 // Window copies the samples for offsets [-history, +lookahead] into dst
 // (which must have length history+lookahead+1), ordered oldest first.
 func (l *LookaheadBuffer) Window(dst []float64) {
-	for i := range dst {
-		dst[i] = l.At(i - l.history)
-	}
+	copy(dst, l.buf[l.pos:l.pos+l.win])
 }
 
 // Reset clears the buffer contents and priming state.
@@ -170,5 +195,6 @@ func (l *LookaheadBuffer) Reset() {
 	for i := range l.buf {
 		l.buf[i] = 0
 	}
+	l.pos = 0
 	l.pushes = 0
 }

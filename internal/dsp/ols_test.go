@@ -1,0 +1,126 @@
+package dsp
+
+import (
+	"math"
+	"testing"
+)
+
+func lcg(seed uint64) func() float64 {
+	s := seed
+	return func() float64 {
+		s = s*6364136223846793005 + 1442695040888963407
+		return float64(int64(s>>11))/float64(1<<52) - 0.5
+	}
+}
+
+// TestProcessBlockOverlapSaveMatchesPerSample checks that the partitioned
+// overlap-save block path produces the same output as the per-sample loop,
+// for kernel lengths around the OLS threshold and block lengths that are
+// not multiples of the FFT step.
+func TestProcessBlockOverlapSaveMatchesPerSample(t *testing.T) {
+	rnd := lcg(1)
+	for _, m := range []int{olsMinKernel, 250, 1000, 1411} {
+		h := make([]float64, m)
+		for i := range h {
+			h[i] = rnd()
+		}
+		for _, n := range []int{2 * m, 2*m + 17, 5*m + 3} {
+			x := make([]float64, n)
+			for i := range x {
+				x[i] = rnd()
+			}
+			ref := NewStreamConvolver(h)
+			want := make([]float64, n)
+			for i, v := range x {
+				want[i] = ref.Process(v)
+			}
+			ols := NewStreamConvolver(h)
+			got := ols.ProcessBlock(x)
+			var maxErr float64
+			for i := range want {
+				if d := math.Abs(got[i] - want[i]); d > maxErr {
+					maxErr = d
+				}
+			}
+			if maxErr > 1e-9 {
+				t.Errorf("m=%d n=%d: OLS output deviates by %.3g from per-sample", m, n, maxErr)
+			}
+		}
+	}
+}
+
+// TestProcessBlockPreservesStreamingHistory interleaves block and
+// per-sample calls on one convolver and compares against an all-per-sample
+// reference: the OLS path must leave the ring history exactly as if the
+// block had been processed sample by sample.
+func TestProcessBlockPreservesStreamingHistory(t *testing.T) {
+	rnd := lcg(9)
+	const m = 300
+	h := make([]float64, m)
+	for i := range h {
+		h[i] = rnd()
+	}
+	const n = 4000
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rnd()
+	}
+
+	ref := NewStreamConvolver(h)
+	want := make([]float64, n)
+	for i, v := range x {
+		want[i] = ref.Process(v)
+	}
+
+	mixed := NewStreamConvolver(h)
+	var got []float64
+	i := 0
+	// Alternate: 700-sample block (OLS), 100 per-sample calls, 650 block,
+	// a short 50 block (falls back to per-sample), remainder block.
+	for _, chunk := range []int{700, 100, 650, 50, n} {
+		if chunk > n-i {
+			chunk = n - i
+		}
+		if chunk == 0 {
+			break
+		}
+		if chunk == 100 {
+			for j := 0; j < chunk; j++ {
+				got = append(got, mixed.Process(x[i+j]))
+			}
+		} else {
+			got = append(got, mixed.ProcessBlock(x[i:i+chunk])...)
+		}
+		i += chunk
+	}
+	if len(got) != n {
+		t.Fatalf("output length %d != %d", len(got), n)
+	}
+	for i := range want {
+		if d := math.Abs(got[i] - want[i]); d > 1e-9 {
+			t.Fatalf("sample %d: interleaved output deviates by %.3g", i, d)
+		}
+	}
+}
+
+// TestProcessBlockShortKernelIsExact confirms the fallback path (kernel
+// below the OLS threshold) is bit-identical to per-sample processing.
+func TestProcessBlockShortKernelIsExact(t *testing.T) {
+	rnd := lcg(4)
+	h := make([]float64, 32)
+	for i := range h {
+		h[i] = rnd()
+	}
+	x := make([]float64, 500)
+	for i := range x {
+		x[i] = rnd()
+	}
+	ref := NewStreamConvolver(h)
+	blk := NewStreamConvolver(h)
+	got := blk.ProcessBlock(x)
+	for i, v := range x {
+		if want := ref.Process(v); got[i] != want {
+			t.Fatalf("sample %d: %g != %g", i, got[i], want)
+		}
+	}
+}

@@ -19,20 +19,29 @@ func AblationTaps(c Config) (*Figure, error) {
 		XLabel: "Non-causal taps N",
 		YLabel: "Full-band cancellation (dB)",
 	}
-	s := Series{Name: "MUTE_Hollow"}
-	for _, n := range []int{1, 2, 4, 8, 16, 32, 64} {
+	taps := []int{1, 2, 4, 8, 16, 32, 64}
+	ys := make([]float64, len(taps))
+	err := parallelFor(c.Workers, len(taps), func(i int) error {
 		r, err := runScheme(c, sim.MUTEHollow, gen, func(p *sim.Params) {
-			p.MaxNonCausalTaps = n
+			p.MaxNonCausalTaps = taps[i]
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		db, err := r.CancellationDB(50, 4000)
 		if err != nil {
-			return nil, err
+			return err
 		}
+		ys[i] = db
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	s := Series{Name: "MUTE_Hollow"}
+	for i, n := range taps {
 		s.X = append(s.X, float64(n))
-		s.Y = append(s.Y, db)
+		s.Y = append(s.Y, ys[i])
 	}
 	fig.Series = []Series{s}
 	fig.Notes = append(fig.Notes,
@@ -52,25 +61,34 @@ func AblationFMSNR(c Config) (*Figure, error) {
 		XLabel: "Channel SNR (dB)",
 		YLabel: "Full-band cancellation (dB)",
 	}
-	s := Series{Name: "MUTE_Hollow over FM"}
-	for _, snr := range []float64{10, 20, 30, 40, math.Inf(1)} {
+	snrs := []float64{10, 20, 30, 40, math.Inf(1)}
+	ys := make([]float64, len(snrs))
+	err := parallelFor(c.Workers, len(snrs), func(i int) error {
 		r, err := runScheme(c, sim.MUTEHollow, gen, func(p *sim.Params) {
 			p.UseFMLink = true
-			p.Channel = rf.ChannelParams{SNRdB: snr, CFOHz: 500, Gain: 1, Seed: c.Seed}
+			p.Channel = rf.ChannelParams{SNRdB: snrs[i], CFOHz: 500, Gain: 1, Seed: c.Seed}
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		db, err := r.CancellationDB(50, 4000)
 		if err != nil {
-			return nil, err
+			return err
 		}
+		ys[i] = db
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	s := Series{Name: "MUTE_Hollow over FM"}
+	for i, snr := range snrs {
 		x := snr
 		if math.IsInf(x, 1) {
 			x = 60 // plot stand-in for a clean channel
 		}
 		s.X = append(s.X, x)
-		s.Y = append(s.Y, db)
+		s.Y = append(s.Y, ys[i])
 	}
 	fig.Series = []Series{s}
 	fig.Notes = append(fig.Notes,
@@ -91,20 +109,29 @@ func AblationNormalization(c Config) (*Figure, error) {
 		XLabel: "mu",
 		YLabel: "Full-band cancellation (dB)",
 	}
-	s := Series{Name: "MUTE_Hollow"}
-	for _, mu := range []float64{0.02, 0.05, 0.1, 0.2, 0.4} {
+	mus := []float64{0.02, 0.05, 0.1, 0.2, 0.4}
+	ys := make([]float64, len(mus))
+	err := parallelFor(c.Workers, len(mus), func(i int) error {
 		r, err := runScheme(c, sim.MUTEHollow, gen, func(p *sim.Params) {
-			p.Mu = mu
+			p.Mu = mus[i]
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		db, err := r.CancellationDB(50, 4000)
 		if err != nil {
-			return nil, err
+			return err
 		}
+		ys[i] = db
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	s := Series{Name: "MUTE_Hollow"}
+	for i, mu := range mus {
 		s.X = append(s.X, mu)
-		s.Y = append(s.Y, db)
+		s.Y = append(s.Y, ys[i])
 	}
 	fig.Series = []Series{s}
 	best := 0
@@ -118,18 +145,26 @@ func AblationNormalization(c Config) (*Figure, error) {
 }
 
 // All runs every experiment in paper order; used by cmd/mutebench -fig all.
+// Whole figures fan out across the worker pool on top of the intra-figure
+// parallelism, so small figures fill the cores the big ones leave idle; the
+// returned slice is always in paper order.
 func All(c Config) ([]*Figure, error) {
+	c = c.Defaults()
 	type fn func(Config) (*Figure, error)
 	fns := []fn{Fig8, Fig12, Fig13, Fig14, Fig15, Fig16, Fig17, Fig18, Fig19, LookaheadTable,
 		AblationTaps, AblationFMSNR, AblationNormalization,
 		Variants, Mobility, Contention, TrackerExperiment, MultiSource, AblationRLS}
-	var out []*Figure
-	for _, f := range fns {
-		fig, err := f(c)
+	out := make([]*Figure, len(fns))
+	err := parallelFor(c.Workers, len(fns), func(i int) error {
+		fig, err := fns[i](c)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out = append(out, fig)
+		out[i] = fig
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -55,6 +55,12 @@ type Config struct {
 	NoiseAmp float64
 	// Bands is the number of spectrum points reported (default 32).
 	Bands int
+	// Workers bounds the experiment worker pool: independent scheme runs
+	// within a figure — and whole figures within All — fan out across this
+	// many goroutines. 0 selects one worker per CPU (DefaultWorkers); 1
+	// forces fully sequential execution. Results are bit-identical for any
+	// value because every run seeds its own generators (see parallelFor).
+	Workers int
 }
 
 // Defaults fills unset fields.
@@ -73,6 +79,9 @@ func (c Config) Defaults() Config {
 	}
 	if c.Bands == 0 {
 		c.Bands = 32
+	}
+	if c.Workers == 0 {
+		c.Workers = DefaultWorkers()
 	}
 	return c
 }

@@ -39,23 +39,36 @@ func Variants(c Config) (*Figure, error) {
 			return sim.VariantParams{Base: p, Variant: sim.SmartNoise}
 		}},
 	}
-	s := Series{Name: "MUTE variants"}
-	for i, cs := range cases {
+	type out struct {
+		db   float64
+		la   int
+		taps int
+	}
+	outs := make([]out, len(cases))
+	err := parallelFor(c.Workers, len(cases), func(i int) error {
 		p := sim.DefaultParams(sim.DefaultScene(gen()))
 		p.Duration = c.Duration
 		p.Seed = c.Seed
-		r, err := sim.RunVariant(cs.vp(p))
+		r, err := sim.RunVariant(cases[i].vp(p))
 		if err != nil {
-			return nil, err
+			return err
 		}
 		db, err := r.CancellationDB(50, 4000)
 		if err != nil {
-			return nil, err
+			return err
 		}
+		outs[i] = out{db: db, la: r.LookaheadSamples, taps: r.UsedNonCausalTaps}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	s := Series{Name: "MUTE variants"}
+	for i, cs := range cases {
 		s.X = append(s.X, float64(i))
-		s.Y = append(s.Y, db)
+		s.Y = append(s.Y, outs[i].db)
 		fig.Notes = append(fig.Notes, note("%s: %.1f dB (lookahead %d samples, N=%d)",
-			cs.name, db, r.LookaheadSamples, r.UsedNonCausalTaps))
+			cs.name, outs[i].db, outs[i].la, outs[i].taps))
 	}
 	fig.Series = []Series{s}
 	return fig, nil
@@ -73,26 +86,35 @@ func Mobility(c Config) (*Figure, error) {
 		XLabel: "Drift (m)",
 		YLabel: "Full-band cancellation (dB)",
 	}
-	s := Series{Name: "MUTE_Hollow, moving ear"}
-	for _, drift := range []float64{0, 0.3, 0.6, 1.2} {
+	drifts := []float64{0, 0.3, 0.6, 1.2}
+	ys := make([]float64, len(drifts))
+	err := parallelFor(c.Workers, len(drifts), func(i int) error {
 		p := sim.DefaultParams(sim.DefaultScene(gen()))
 		p.Duration = c.Duration
 		p.Seed = c.Seed
 		end := p.Scene.EarPos
-		end.Y += drift
+		end.Y += drifts[i]
 		if !p.Scene.Room.Inside(end) {
-			end.Y = p.Scene.EarPos.Y - drift
+			end.Y = p.Scene.EarPos.Y - drifts[i]
 		}
 		r, err := sim.RunMobile(sim.MobilityParams{Base: p, EarEnd: end})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		db, err := r.CancellationDB(50, 4000)
 		if err != nil {
-			return nil, err
+			return err
 		}
+		ys[i] = db
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	s := Series{Name: "MUTE_Hollow, moving ear"}
+	for i, drift := range drifts {
 		s.X = append(s.X, drift)
-		s.Y = append(s.Y, db)
+		s.Y = append(s.Y, ys[i])
 	}
 	fig.Series = []Series{s}
 	fig.Notes = append(fig.Notes,

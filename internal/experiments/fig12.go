@@ -30,11 +30,15 @@ func Fig12(c Config) (*Figure, error) {
 		{sim.MUTEHollow, "MUTE_Hollow", false},
 		{sim.MUTEPassive, "MUTE+Passive", false},
 	}
-	results := map[string]Series{}
-	for _, spec := range specs {
+	// The four schemes are independent simulations of the same scene; fan
+	// them out and assemble in spec order so output is identical to the
+	// sequential path.
+	outs := make([]Series, len(specs))
+	err := parallelFor(c.Workers, len(specs), func(i int) error {
+		spec := specs[i]
 		r, err := runScheme(c, spec.scheme, gen, nil)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		var s Series
 		if spec.active {
@@ -43,10 +47,18 @@ func Fig12(c Config) (*Figure, error) {
 			s, err = spectrumSeries(spec.name, r, c.Bands)
 		}
 		if err != nil {
-			return nil, err
+			return err
 		}
-		fig.Series = append(fig.Series, s)
-		results[spec.name] = s
+		outs[i] = s
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	results := map[string]Series{}
+	for i, spec := range specs {
+		fig.Series = append(fig.Series, outs[i])
+		results[spec.name] = outs[i]
 	}
 	muteLow := bandAvg(results["MUTE_Hollow"], 0, 1000)
 	boseActiveLow := bandAvg(results["Bose_Active"], 0, 1000)

@@ -30,16 +30,25 @@ func Fig15(c Config) (*Figure, error) {
 			return audio.NewContinuousSpeech(c.Seed+10, audio.MaleVoice, c.SampleRate, c.NoiseAmp*1.6)
 		}},
 	}
+	// Fan out the four underlying simulations (2 sounds × 2 schemes); the
+	// deterministic rating model then runs sequentially on the results.
+	schemes := []sim.Scheme{sim.MUTEPassive, sim.BoseOverall}
+	results := make([]*sim.Result, len(sounds)*len(schemes))
+	err := parallelFor(c.Workers, len(results), func(i int) error {
+		r, err := runScheme(c, schemes[i%len(schemes)], sounds[i/len(schemes)].Gen, nil)
+		if err != nil {
+			return err
+		}
+		results[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	wins := 0
-	for _, snd := range sounds {
-		rMute, err := runScheme(c, sim.MUTEPassive, snd.Gen, nil)
-		if err != nil {
-			return nil, err
-		}
-		rBose, err := runScheme(c, sim.BoseOverall, snd.Gen, nil)
-		if err != nil {
-			return nil, err
-		}
+	for si, snd := range sounds {
+		rMute := results[si*len(schemes)]
+		rBose := results[si*len(schemes)+1]
 		sm := Series{Name: "MUTE+Passive (" + snd.Name + ")"}
 		sb := Series{Name: "Bose_Overall (" + snd.Name + ")"}
 		for id := 1; id <= listeners; id++ {

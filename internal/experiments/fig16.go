@@ -33,9 +33,9 @@ func Fig16(c Config) (*Figure, error) {
 	scene := sim.DefaultScene(gen())
 	geoLA := scene.LookaheadSamples()
 	pipe := core.DefaultPipeline().Total()
-	var avgs []float64
-	for _, off := range offsets {
-		extraTaps := int(off.Ms / 1000 * c.SampleRate)
+	outs := make([]Series, len(offsets))
+	err := parallelFor(c.Workers, len(offsets), func(i int) error {
+		extraTaps := int(offsets[i].Ms / 1000 * c.SampleRate)
 		// Delay the reference so exactly pipe+extraTaps samples of
 		// lookahead remain.
 		delay := geoLA - pipe - extraTaps
@@ -46,12 +46,20 @@ func Fig16(c Config) (*Figure, error) {
 			p.ExtraReferenceDelay = delay
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		s, err := spectrumSeries(off.Name, r, c.Bands)
+		s, err := spectrumSeries(offsets[i].Name, r, c.Bands)
 		if err != nil {
-			return nil, err
+			return err
 		}
+		outs[i] = s
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var avgs []float64
+	for _, s := range outs {
 		fig.Series = append(fig.Series, s)
 		avgs = append(avgs, bandAvg(s, 0, 4000))
 	}

@@ -43,14 +43,21 @@ func Fig17(c Config) (*Figure, error) {
 		p.MaxProfiles = 4
 		return sim.Run(p, sim.MUTEHollow)
 	}
-	rOn, err := run(true)
+	// The profiling-on and profiling-off arms are independent; run both at
+	// once (each builds its own scene from explicit seeds).
+	arms := make([]*sim.Result, 2)
+	err := parallelFor(c.Workers, 2, func(i int) error {
+		r, err := run(i == 0)
+		if err != nil {
+			return err
+		}
+		arms[i] = r
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	rOff, err := run(false)
-	if err != nil {
-		return nil, err
-	}
+	rOn, rOff := arms[0], arms[1]
 	// Additional cancellation = PSD(on)/PSD(off) of the steady-state
 	// residuals (the first half covers initial convergence and cache
 	// warm-up for both arms).
@@ -142,11 +149,19 @@ func alternatingSourceGain(c Config) (float64, error) {
 		}
 		return dsp.DB(res / (open + dsp.EpsilonPower)), nil
 	}
-	on, err := run(true)
-	if err != nil {
-		return 0, err
-	}
-	off, err := run(false)
+	var on, off float64
+	err := parallelFor(c.Workers, 2, func(i int) error {
+		db, err := run(i == 0)
+		if err != nil {
+			return err
+		}
+		if i == 0 {
+			on = db
+		} else {
+			off = db
+		}
+		return nil
+	})
 	if err != nil {
 		return 0, err
 	}

@@ -55,11 +55,20 @@ func Fig18(c Config) (*Figure, error) {
 		// Beyond the ear device (far corner): negative lookahead.
 		{"Negative Lookahead", acoustics.Point{X: 4.6, Y: 3.6, Z: 1.5}},
 	}
-	for _, cs := range cases {
-		corr, err := correlationCase(c, cs.Pos)
+	corrs := make([]*relaysel.Correlation, len(cases))
+	err := parallelFor(c.Workers, len(cases), func(i int) error {
+		corr, err := correlationCase(c, cases[i].Pos)
 		if err != nil {
-			return nil, err
+			return err
 		}
+		corrs[i] = corr
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ci, cs := range cases {
+		corr := corrs[ci]
 		s := Series{Name: cs.Name}
 		for i, lag := range corr.Lags {
 			s.X = append(s.X, float64(lag)/c.SampleRate*1000)

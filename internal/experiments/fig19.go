@@ -39,15 +39,20 @@ func Fig19(c Config) (*Figure, error) {
 		XLabel: "Source index",
 		YLabel: "Selected relay (0 = none)",
 	}
-	expectSeries := Series{Name: "Expected"}
-	gotSeries := Series{Name: "Selected"}
-	correct := 0
-	for i, srcPos := range sources {
+	// Every grid position is an independent selection trial (per-position
+	// RNG seed); fan the grid out and reduce in index order.
+	type trial struct {
+		expected int
+		selected int
+	}
+	trials := make([]trial, len(sources))
+	err := parallelFor(c.Workers, len(sources), func(i int) error {
+		srcPos := sources[i]
 		wave := audio.Render(audio.NewWhiteNoise(c.Seed+uint64(i), fs, c.NoiseAmp), n)
 		// Local signal at the client.
 		hLocal, err := room.ImpulseResponse(srcPos, client, fs)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		local := dsp.ConvolveSame(wave, hLocal)
 		// Forwarded signal per relay.
@@ -55,13 +60,13 @@ func Fig19(c Config) (*Figure, error) {
 		for _, rp := range relays {
 			h, err := room.ImpulseResponse(srcPos, rp, fs)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			forwarded = append(forwarded, dsp.ConvolveSame(wave, h))
 		}
 		sel, err := relaysel.SelectRelay(forwarded, local, maxLag, 1, 0.05)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		// Ground truth: the nearest relay if it beats the client's own
 		// distance, else none.
@@ -73,13 +78,23 @@ func Fig19(c Config) (*Figure, error) {
 				expected = ri
 			}
 		}
-		if sel.Best == expected {
+		trials[i] = trial{expected: expected, selected: sel.Best}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	expectSeries := Series{Name: "Expected"}
+	gotSeries := Series{Name: "Selected"}
+	correct := 0
+	for i, tr := range trials {
+		if tr.selected == tr.expected {
 			correct++
 		}
 		expectSeries.X = append(expectSeries.X, float64(i))
-		expectSeries.Y = append(expectSeries.Y, float64(expected+1))
+		expectSeries.Y = append(expectSeries.Y, float64(tr.expected+1))
 		gotSeries.X = append(gotSeries.X, float64(i))
-		gotSeries.Y = append(gotSeries.Y, float64(sel.Best+1))
+		gotSeries.Y = append(gotSeries.Y, float64(tr.selected+1))
 	}
 	fig.Series = []Series{expectSeries, gotSeries}
 	fig.Notes = append(fig.Notes,

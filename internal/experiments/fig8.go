@@ -44,20 +44,6 @@ func Fig8(c Config) (*Figure, error) {
 		return s, nil
 	}
 
-	// (a) Continuous wide-band noise.
-	pa := sim.DefaultParams(sim.DefaultScene(audio.NewWhiteNoise(c.Seed, c.SampleRate, c.NoiseAmp)))
-	pa.Duration = c.Duration
-	pa.Mu = 0.02
-	ra, err := sim.Run(pa, sim.MUTEHollow)
-	if err != nil {
-		return nil, err
-	}
-	sa, err := timeline(ra)
-	if err != nil {
-		return nil, err
-	}
-	sa.Name = "(a) Continuous noise"
-
 	// (b)/(c) Sentence speech, single filter vs profiling.
 	speechRun := func(prof bool) (*sim.Result, error) {
 		p := sim.DefaultParams(sim.DefaultScene(
@@ -71,24 +57,40 @@ func Fig8(c Config) (*Figure, error) {
 		p.MaxProfiles = 4
 		return sim.Run(p, sim.MUTEHollow)
 	}
-	rb, err := speechRun(false)
+	// The three timelines are independent runs; fan them out.
+	runs := []func() (*sim.Result, error){
+		// (a) Continuous wide-band noise.
+		func() (*sim.Result, error) {
+			pa := sim.DefaultParams(sim.DefaultScene(audio.NewWhiteNoise(c.Seed, c.SampleRate, c.NoiseAmp)))
+			pa.Duration = c.Duration
+			pa.Mu = 0.02
+			return sim.Run(pa, sim.MUTEHollow)
+		},
+		func() (*sim.Result, error) { return speechRun(false) },
+		func() (*sim.Result, error) { return speechRun(true) },
+	}
+	names := []string{"(a) Continuous noise", "(b) Speech, single filter", "(c) Speech, profiling"}
+	series := make([]Series, len(runs))
+	results := make([]*sim.Result, len(runs))
+	err := parallelFor(c.Workers, len(runs), func(i int) error {
+		r, err := runs[i]()
+		if err != nil {
+			return err
+		}
+		s, err := timeline(r)
+		if err != nil {
+			return err
+		}
+		s.Name = names[i]
+		series[i] = s
+		results[i] = r
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	sb, err := timeline(rb)
-	if err != nil {
-		return nil, err
-	}
-	sb.Name = "(b) Speech, single filter"
-	rc, err := speechRun(true)
-	if err != nil {
-		return nil, err
-	}
-	sc, err := timeline(rc)
-	if err != nil {
-		return nil, err
-	}
-	sc.Name = "(c) Speech, profiling"
+	sa, sb, sc := series[0], series[1], series[2]
+	rc := results[2]
 
 	fig.Series = []Series{sa, sb, sc}
 	meanOf := func(s Series) float64 {

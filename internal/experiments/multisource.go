@@ -26,34 +26,36 @@ func MultiSource(c Config) (*Figure, error) {
 		XLabel: "Configuration (0 = single relay, 1 = relay per source)",
 		YLabel: "Full-band cancellation (dB)",
 	}
-	base := sim.DefaultParams(makeScene())
-	base.Duration = c.Duration
-	base.Seed = c.Seed
-	single, err := sim.Run(base, sim.MUTEHollow)
-	if err != nil {
-		return nil, err
-	}
-	sdb, err := single.CancellationDB(50, 4000)
-	if err != nil {
-		return nil, err
-	}
-	base2 := sim.DefaultParams(makeScene())
-	base2.Duration = c.Duration
-	base2.Seed = c.Seed
-	multi, err := sim.RunMultiRelay(sim.MultiRelayParams{
-		Base: base2,
-		RelayPositions: []acoustics.Point{
-			{X: 1.0, Y: 2.0, Z: 1.5},
-			{X: 1.2, Y: 3.3, Z: 1.5},
-		},
+	// Single-relay and multi-relay configurations are independent; each
+	// builds its own scene from explicit seeds.
+	dbs := make([]float64, 2)
+	err := parallelFor(c.Workers, 2, func(i int) error {
+		p := sim.DefaultParams(makeScene())
+		p.Duration = c.Duration
+		p.Seed = c.Seed
+		var r *sim.Result
+		var err error
+		if i == 0 {
+			r, err = sim.Run(p, sim.MUTEHollow)
+		} else {
+			r, err = sim.RunMultiRelay(sim.MultiRelayParams{
+				Base: p,
+				RelayPositions: []acoustics.Point{
+					{X: 1.0, Y: 2.0, Z: 1.5},
+					{X: 1.2, Y: 3.3, Z: 1.5},
+				},
+			})
+		}
+		if err != nil {
+			return err
+		}
+		dbs[i], err = r.CancellationDB(50, 4000)
+		return err
 	})
 	if err != nil {
 		return nil, err
 	}
-	mdb, err := multi.CancellationDB(50, 4000)
-	if err != nil {
-		return nil, err
-	}
+	sdb, mdb := dbs[0], dbs[1]
 	fig.Series = []Series{{Name: "Cancellation", X: []float64{0, 1}, Y: []float64{sdb, mdb}}}
 	fig.Notes = append(fig.Notes,
 		note("single reference %.1f dB vs multi-reference %.1f dB on two simultaneous sources (paper: future work, 'one microphone for each noise channel')", sdb, mdb))

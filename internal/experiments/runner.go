@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultWorkers returns the worker-pool size used when Config.Workers is
+// unset: one worker per available CPU.
+func DefaultWorkers() int {
+	return runtime.GOMAXPROCS(0)
+}
+
+// parallelFor runs fn(0..n-1) on a bounded pool of workers and returns the
+// first error (by task index, not completion order, so failures are
+// deterministic). With workers <= 1 it degrades to a plain sequential loop
+// — the reference execution order that the parallel path must match.
+//
+// Determinism contract: every task writes only to its own index of a
+// pre-sized result slice and derives all randomness from explicit seeds, so
+// the assembled results are identical whatever the interleaving. The only
+// shared mutable state tasks may touch is the acoustics RIR cache, which is
+// value-deterministic (any execution order caches the same taps).
+func parallelFor(workers, n int, fn func(i int) error) error {
+	if n == 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

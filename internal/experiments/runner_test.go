@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"errors"
+	"reflect"
+	"sync/atomic"
+	"testing"
+)
+
+func TestParallelForCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 100} {
+		const n = 37
+		var hits [n]atomic.Int32
+		err := parallelFor(workers, n, func(i int) error {
+			hits[i].Add(1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestParallelForReturnsFirstErrorByIndex(t *testing.T) {
+	errA := errors.New("a")
+	errB := errors.New("b")
+	for _, workers := range []int{1, 4} {
+		err := parallelFor(workers, 10, func(i int) error {
+			switch i {
+			case 3:
+				return errA
+			case 7:
+				return errB
+			}
+			return nil
+		})
+		// The lowest-index error wins regardless of completion order.
+		if !errors.Is(err, errA) {
+			t.Fatalf("workers=%d: got %v, want %v", workers, err, errA)
+		}
+	}
+}
+
+func TestParallelForZeroTasks(t *testing.T) {
+	if err := parallelFor(4, 0, func(int) error { t.Fatal("fn called"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFiguresDeterministicAcrossWorkerCounts is the parallel runner's core
+// guarantee: the same Seed must produce byte-identical Figure output with
+// Workers=1 (the sequential reference order) and Workers=8. A failure here
+// means a run is sharing RNG state or clobbering a neighbor's slot.
+func TestFiguresDeterministicAcrossWorkerCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second simulations")
+	}
+	base := Config{Duration: 2, Seed: 42}
+	figs := []struct {
+		name string
+		run  func(Config) (*Figure, error)
+	}{
+		{"Fig12", Fig12}, // independent schemes, shared generator seed
+		{"Fig16", Fig16}, // parameter sweep over one scheme
+	}
+	for _, f := range figs {
+		seqCfg := base
+		seqCfg.Workers = 1
+		seq, err := f.run(seqCfg)
+		if err != nil {
+			t.Fatalf("%s sequential: %v", f.name, err)
+		}
+		parCfg := base
+		parCfg.Workers = 8
+		par, err := f.run(parCfg)
+		if err != nil {
+			t.Fatalf("%s parallel: %v", f.name, err)
+		}
+		if !reflect.DeepEqual(seq, par) {
+			t.Errorf("%s: Workers=1 and Workers=8 outputs differ", f.name)
+		}
+	}
+}

@@ -157,6 +157,13 @@ func (c *Classifier) Classify(sig Signature) (int, bool) {
 // Profiles returns the number of registered profile slots.
 func (c *Classifier) Profiles() int { return len(c.protos) }
 
+// Reset forgets every learned profile, keeping only the reserved silence
+// slot. It restores the classifier to its freshly constructed state without
+// re-validating the configuration, so callers can reset infallibly.
+func (c *Classifier) Reset() {
+	c.protos = c.protos[:1]
+}
+
 // FilterCache stores converged adaptive-filter weights per profile slot so
 // LANC can swap them in at transitions instead of re-converging.
 type FilterCache struct {

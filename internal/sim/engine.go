@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"time"
 
 	"mute/internal/anc"
 	"mute/internal/audio"
@@ -160,10 +161,24 @@ type Result struct {
 	Switches int
 	// SampleRate echoes the scene rate.
 	SampleRate float64
+	// Elapsed is the wall-clock time the run took, for throughput metrics.
+	Elapsed time.Duration
+}
+
+// RealtimeFactor reports how many times faster than real time the run
+// executed (simulated seconds per wall-clock second). Zero if timing is
+// unavailable.
+func (r *Result) RealtimeFactor() float64 {
+	if r.Elapsed <= 0 || r.SampleRate <= 0 {
+		return 0
+	}
+	simSeconds := float64(len(r.On)) / r.SampleRate
+	return simSeconds / r.Elapsed.Seconds()
 }
 
 // Run simulates the scheme and returns the recordings.
 func Run(p Params, scheme Scheme) (*Result, error) {
+	start := time.Now()
 	if err := p.Scene.Validate(); err != nil {
 		return nil, err
 	}
@@ -200,8 +215,11 @@ func Run(p Params, scheme Scheme) (*Result, error) {
 			return nil, fmt.Errorf("sim: source→ear RIR: %w", err)
 		}
 		wave := audio.Render(src.Gen, n)
-		refStreams = append(refStreams, dsp.ConvolveSame(wave, hnr))
-		earStreams = append(earStreams, dsp.ConvolveSame(wave, hne))
+		// Pre-render via the convolver's block path: room IRs are long
+		// enough that partitioned overlap-save beats direct convolution,
+		// and the streaming-from-zero semantics match ConvolveSame.
+		refStreams = append(refStreams, dsp.NewStreamConvolver(hnr).ProcessBlock(wave))
+		earStreams = append(earStreams, dsp.NewStreamConvolver(hne).ProcessBlock(wave))
 	}
 	ref := sumStreams(refStreams, n)
 	open := sumStreams(earStreams, n)
@@ -330,9 +348,7 @@ func Run(p Params, scheme Scheme) (*Result, error) {
 		}
 		e := 0.0
 		for t := 0; t < n; t++ {
-			lanc.Adapt(e)
-			lanc.Push(forwarded[t])
-			a := lanc.AntiNoise()
+			a := lanc.Step(forwarded[t], e)
 			meas := underCup[t] + secCh.Process(a)
 			on[t] = meas
 			e = meas + p.EarMicNoiseRMS*earNoise.Norm()
@@ -361,6 +377,7 @@ func Run(p Params, scheme Scheme) (*Result, error) {
 	}
 	res.On = on
 	res.Residual = residual
+	res.Elapsed = time.Since(start)
 	return res, nil
 }
 

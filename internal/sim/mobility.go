@@ -155,9 +155,7 @@ func RunMobile(mp MobilityParams) (*Result, error) {
 	residual := make([]float64, n)
 	e := 0.0
 	for t := 0; t < n; t++ {
-		lanc.Adapt(e)
-		lanc.Push(ref[t])
-		a := lanc.AntiNoise()
+		a := lanc.Step(ref[t], e)
 		meas := open[t] + secCh.Process(a)
 		on[t] = meas
 		e = meas + p.EarMicNoiseRMS*earNoise.Norm()

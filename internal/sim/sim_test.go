@@ -345,11 +345,18 @@ func power(x []float64) float64 {
 
 func BenchmarkSimMUTEHollowSecond(b *testing.B) {
 	b.ReportAllocs()
+	var last *Result
 	for i := 0; i < b.N; i++ {
 		p := DefaultParams(whiteScene(1))
 		p.Duration = 1
-		if _, err := Run(p, MUTEHollow); err != nil {
+		r, err := Run(p, MUTEHollow)
+		if err != nil {
 			b.Fatal(err)
 		}
+		last = r
+	}
+	if last != nil {
+		b.ReportMetric(float64(len(last.On))/last.Elapsed.Seconds(), "samples/s")
+		b.ReportMetric(last.RealtimeFactor(), "xrealtime")
 	}
 }

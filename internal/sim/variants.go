@@ -174,9 +174,7 @@ func runTabletop(vp VariantParams) (*Result, error) {
 	residual := make([]float64, n)
 	e := 0.0
 	for t := 0; t < n; t++ {
-		lanc.Adapt(errDelay.Process(e))
-		lanc.Push(ref[t])
-		a := lanc.AntiNoise()
+		a := lanc.Step(ref[t], errDelay.Process(e))
 		meas := open[t] + secCh.Process(a)
 		on[t] = meas
 		e = meas + p.EarMicNoiseRMS*earNoise.Norm()
