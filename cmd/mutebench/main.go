@@ -14,7 +14,8 @@
 // Experiment ids: fig12 fig13 fig14 fig15 fig16 fig17 fig18 fig19,
 // lookahead, ablation-taps, ablation-fmsnr, ablation-nlms, and the
 // beyond-the-paper extensions variants, mobility, contention, tracker,
-// multisource.
+// multisource, loss (cancellation vs packet loss on the forwarded
+// reference, with FEC and concealment-freeze policies).
 package main
 
 import (
@@ -45,7 +46,7 @@ func main() {
 	flag.Parse()
 
 	if *list {
-		fmt.Println("fig12 fig13 fig14 fig15 fig16 fig17 fig18 fig19 lookahead ablation-taps ablation-fmsnr ablation-nlms variants mobility contention tracker multisource all")
+		fmt.Println("fig12 fig13 fig14 fig15 fig16 fig17 fig18 fig19 lookahead ablation-taps ablation-fmsnr ablation-nlms variants mobility contention tracker multisource loss all")
 		return
 	}
 	if *cpuProfile != "" {

@@ -9,6 +9,12 @@
 //
 //	muteear -listen 127.0.0.1:9950 -duration 12 -lookahead-ms 8
 //	muterelay -dest 127.0.0.1:9950 -sound speech -duration 10
+//
+// Loss-aware mode (-loss-aware, on by default) feeds the jitter buffer's
+// concealment mask to the canceller: adaptation freezes while zero-filled
+// gap samples sit in the gradient window and ramps back afterwards, so a
+// lossy link (real, or injected with muterelay's -loss flags) degrades
+// cancellation toward the passive floor instead of corrupting the filter.
 package main
 
 import (
@@ -27,6 +33,7 @@ func main() {
 		duration    = flag.Float64("duration", 12, "seconds to run before reporting")
 		lookaheadMs = flag.Float64("lookahead-ms", 8, "simulated acoustic lookahead")
 		frame       = flag.Int("frame", 80, "samples per processing block")
+		lossAware   = flag.Bool("loss-aware", true, "freeze adaptation over concealed (lost) samples")
 	)
 	flag.Parse()
 
@@ -62,6 +69,7 @@ func main() {
 		Mu:            0.1,
 		Normalized:    true,
 		SecondaryPath: secPath,
+		LossAware:     *lossAware,
 	})
 	if err != nil {
 		fatal(err)
@@ -69,6 +77,7 @@ func main() {
 
 	deadline := time.Now().Add(time.Duration(*duration * float64(time.Second)))
 	block := make([]float64, *frame)
+	mask := make([]bool, *frame)
 	var noisePow, resPow float64
 	var samples int
 	e := 0.0
@@ -83,10 +92,10 @@ func main() {
 				break
 			}
 		}
-		rx.Pop(block)
-		for _, x := range block {
+		rx.PopMask(block, mask)
+		for i, x := range block {
 			lanc.Adapt(e)
-			lanc.Push(x)
+			lanc.PushMasked(x, mask[i])
 			a := lanc.AntiNoise()
 			// The acoustic wavefront for this instant left the source
 			// `lookahead` samples ago; reconstruct it from the delayed
@@ -100,8 +109,8 @@ func main() {
 		time.Sleep(time.Duration(float64(*frame) / fs * float64(time.Second)))
 	}
 	st := rx.Stats()
-	fmt.Printf("muteear: %d samples, %d frames received, %d samples concealed, %d frames FEC-recovered\n",
-		samples, st.FramesReceived, st.SamplesConcealed, rx.Recovered())
+	fmt.Printf("muteear: %d samples, %d frames received (%d late, %d dropped), %d samples concealed, %d frames FEC-recovered\n",
+		samples, st.FramesReceived, st.FramesLate, st.FramesDropped, st.SamplesConcealed, rx.Recovered())
 	if noisePow > 0 && resPow > 0 {
 		fmt.Printf("muteear: cancellation %.1f dB (lookahead %d samples, N=%d non-causal taps)\n",
 			dsp.DB(resPow/noisePow), lookahead, budget.UsableTaps)

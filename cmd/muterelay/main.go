@@ -9,6 +9,13 @@
 //
 //	muteear  -listen 127.0.0.1:9950 &   # start the ear device first
 //	muterelay -dest 127.0.0.1:9950 -sound speech -duration 10
+//
+// The -loss/-burst/-dup/-reorder/-jitter flags install a deterministic
+// fault injector in front of the socket, so the ear device's FEC, jitter
+// buffer, and loss-aware canceller can be exercised end to end without a
+// bad network:
+//
+//	muterelay -dest 127.0.0.1:9950 -fec 4 -loss 0.1 -burst 4
 package main
 
 import (
@@ -31,6 +38,14 @@ func main() {
 		frame    = flag.Int("frame", 80, "samples per frame (80 = 10 ms at 8 kHz)")
 		realtime = flag.Bool("realtime", true, "pace frames at the audio clock")
 		fecGroup = flag.Int("fec", 0, "FEC group size (0 = off; e.g. 4 = one parity per 4 frames)")
+
+		loss       = flag.Float64("loss", 0, "injected frame loss rate in [0, 1)")
+		burst      = flag.Float64("burst", 0, "mean loss-burst length in frames (0/1 = i.i.d. loss)")
+		dup        = flag.Float64("dup", 0, "frame duplication probability")
+		reorder    = flag.Float64("reorder", 0, "frame reordering probability")
+		jitterProb = flag.Float64("jitter-prob", 0, "per-frame delay-jitter probability")
+		jitterMax  = flag.Int("jitter", 0, "max jitter delay in frame slots")
+		impairSeed = flag.Uint64("impair-seed", 1, "fault-injector seed")
 	)
 	flag.Parse()
 
@@ -63,6 +78,22 @@ func main() {
 			fatal(err)
 		}
 	}
+	var link *mute.LossyLink
+	if *loss > 0 || *dup > 0 || *reorder > 0 || *jitterProb > 0 {
+		link, err = mute.NewLossyLink(mute.LossParams{
+			Seed:       *impairSeed,
+			Loss:       *loss,
+			MeanBurst:  *burst,
+			Duplicate:  *dup,
+			Reorder:    *reorder,
+			JitterProb: *jitterProb,
+			MaxJitter:  *jitterMax,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		tx.Impair(link)
+	}
 
 	frames := int(*duration * fs / float64(*frame))
 	interval := time.Duration(float64(*frame) / fs * float64(time.Second))
@@ -83,6 +114,11 @@ func main() {
 	}
 	if err := tx.Flush(); err != nil {
 		fatal(err)
+	}
+	if link != nil {
+		st := link.Stats()
+		fmt.Printf("muterelay: link impairments: offered %d, dropped %d, duplicated %d, delayed %d\n",
+			st.Offered, st.Dropped, st.Duplicated, st.Delayed)
 	}
 	fmt.Println("muterelay: done")
 }

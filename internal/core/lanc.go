@@ -47,6 +47,21 @@ type Config struct {
 	// gradient aligned; 0 for co-located DSPs.
 	ErrorDelay int
 
+	// LossAware makes the canceller transport-aware: adaptation freezes
+	// while concealed (zero-filled) reference samples from a lossy link
+	// sit inside the gradient window — NLMS adapting against zeros
+	// corrupts the filter exactly when the link is worst — and the step
+	// size ramps back linearly over RecoveryRamp samples once real
+	// samples return. The profiler (when enabled) also holds its current
+	// filter instead of classifying a zero-filled window as silence.
+	// Concealment is reported per sample via PushMasked / StepMasked;
+	// degradation is bounded at the passive-isolation floor (weights
+	// hold, anti-noise from the surviving samples), never divergence.
+	LossAware bool
+	// RecoveryRamp is the post-loss ramp-back length in samples (default
+	// 256 or the filter window length, whichever is larger).
+	RecoveryRamp int
+
 	// Profiling enables predictive filter switching.
 	Profiling bool
 	// ProfileWindow is the signature window length in samples (default
@@ -88,6 +103,15 @@ func (c *Config) Validate() error {
 	}
 	if len(c.SecondaryPath) == 0 {
 		return fmt.Errorf("core: missing secondary path estimate")
+	}
+	if c.RecoveryRamp < 0 {
+		return fmt.Errorf("core: negative recovery ramp %d", c.RecoveryRamp)
+	}
+	if c.LossAware && c.RecoveryRamp == 0 {
+		c.RecoveryRamp = c.NonCausalTaps + c.CausalTaps + 1
+		if c.RecoveryRamp < 256 {
+			c.RecoveryRamp = 256
+		}
 	}
 	if c.Profiling {
 		if c.SampleRate <= 0 {
@@ -134,6 +158,15 @@ type LANC struct {
 	powAge   int // pushes since the last exact rescan
 	powEvery int // rescan cadence in samples
 	errVar   float64 // running residual variance for robust update clipping
+
+	// Loss-aware state (Config.LossAware). concealGuard counts the samples
+	// for which a concealed (zero-filled) reference still sits inside the
+	// gradient window; adaptation is frozen while it is non-zero.
+	// profileGuard does the same for the profiler's raw window, and
+	// rampLeft drives the linear step-size ramp after the guard expires.
+	concealGuard int
+	profileGuard int
+	rampLeft     int
 
 	// Profiling state.
 	classifier *profile.Classifier
@@ -193,11 +226,64 @@ func New(cfg Config) (*LANC, error) {
 // Push feeds the newest wirelessly forwarded reference sample x(t+N) and
 // advances the algorithm's clock to time t. It must be called exactly once
 // per sample period, before AntiNoise and Adapt for that period.
-func (l *LANC) Push(x float64) {
+func (l *LANC) Push(x float64) { l.PushMasked(x, true) }
+
+// PushMasked is Push plus the transport concealment flag: real reports
+// whether x is a genuinely received sample (true) or a zero the jitter
+// buffer substituted for a lost frame (false; see stream.JitterBuffer's
+// PopMask). With Config.LossAware set, a concealed sample freezes
+// adaptation until it has slid out of the gradient window and holds the
+// profiler's classification until it has left the signature window.
+// Without LossAware the flag is ignored.
+func (l *LANC) PushMasked(x float64, real bool) {
+	l.noteMask(real)
 	l.pushSignal(x)
 	if l.cfg.Profiling {
 		l.profileStep(x)
 	}
+}
+
+// noteMask advances the loss guards by one sample period and re-arms them
+// when the incoming reference sample is concealed. The conceal guard spans
+// the full gradient window [−L−ErrorDelay−1, +N] residence of the zero;
+// the profile guard spans the signature window.
+func (l *LANC) noteMask(real bool) {
+	if !l.cfg.LossAware {
+		return
+	}
+	if l.concealGuard > 0 {
+		l.concealGuard--
+	}
+	if l.profileGuard > 0 {
+		l.profileGuard--
+	}
+	if !real {
+		l.concealGuard = l.cfg.NonCausalTaps + l.cfg.CausalTaps + l.cfg.ErrorDelay + 2
+		if l.cfg.Profiling {
+			l.profileGuard = len(l.window)
+		}
+		l.rampLeft = l.cfg.RecoveryRamp
+	}
+}
+
+// lossGain returns the adaptation gain for the current sample period: 0
+// while a concealed sample contaminates the gradient window, a linear ramp
+// from 0 to 1 over RecoveryRamp samples after the window clears, and 1 in
+// steady state. Calling it consumes one ramp step, so callers invoke it
+// exactly once per adapted sample.
+func (l *LANC) lossGain() float64 {
+	if !l.cfg.LossAware {
+		return 1
+	}
+	if l.concealGuard > 0 {
+		return 0
+	}
+	if l.rampLeft > 0 {
+		g := 1 - float64(l.rampLeft)/float64(l.cfg.RecoveryRamp)
+		l.rampLeft--
+		return g
+	}
+	return 1
 }
 
 // pushSignal advances the reference and filtered-x buffers and maintains
@@ -284,9 +370,18 @@ func (l *LANC) effectiveMu() float64 {
 // Adapt applies the filtered-x gradient step for the measured residual
 // e(t) at the error microphone (Equation 7, extended to k < 0):
 // h_AF(k) ← h_AF(k) − µ e(t) (ĥ_se ∗ x)(t−k).
+//
+// With Config.LossAware set the step is scaled by the loss gain: the
+// update is skipped entirely while a concealed sample sits in the gradient
+// window (the residual then reflects the passive floor, not the filter)
+// and ramps back after recovery. At zero loss the path is unchanged.
 func (l *LANC) Adapt(e float64) {
+	gain := l.lossGain()
+	if gain == 0 {
+		return
+	}
 	e = l.clipError(e)
-	muE := l.effectiveMu() * e
+	muE := l.effectiveMu() * e * gain
 	// A stale error (ErrorDelay > 0) pairs with the equally stale
 	// filtered-x history: tap i needs (ĥ_se ∗ x) at offset N-i-ErrorDelay,
 	// i.e. the window below walked backwards.
@@ -309,11 +404,29 @@ func (l *LANC) Adapt(e float64) {
 // adapt and anti-noise tap loops run as a single pass over contiguous
 // buffer views — one read of the filtered-x window, one read of the
 // reference window, one write of the weights per sample.
-func (l *LANC) Step(xNew, ePrev float64) float64 {
-	// Sequential semantics: the gradient for ePrev uses the powers and
-	// filtered-x history as they stood before xNew arrived.
+func (l *LANC) Step(xNew, ePrev float64) float64 { return l.StepMasked(xNew, ePrev, true) }
+
+// StepMasked is Step plus the transport concealment flag (see PushMasked).
+// While adaptation is frozen the weights — including the leak — are left
+// untouched and only the anti-noise output is computed, so a loss burst
+// degrades toward the passive-isolation floor instead of diverging. With
+// real always true, or LossAware unset, it is bit-identical to Step.
+func (l *LANC) StepMasked(xNew, ePrev float64, real bool) float64 {
+	// Sequential semantics: the gradient for ePrev uses the powers,
+	// filtered-x history, and loss gain as they stood before xNew arrived.
+	gain := l.lossGain()
+	if gain == 0 {
+		l.noteMask(real)
+		l.pushSignal(xNew)
+		a := l.AntiNoise()
+		if l.cfg.Profiling && l.profileStep(xNew) {
+			a = l.AntiNoise()
+		}
+		return a
+	}
 	e := l.clipError(ePrev)
-	muE := l.effectiveMu() * e
+	muE := l.effectiveMu() * e * gain
+	l.noteMask(real)
 	l.pushSignal(xNew)
 	// Post-push, every pre-push sample sits one slot deeper; the buffers'
 	// extra history slot keeps the oldest gradient sample addressable.
@@ -393,6 +506,9 @@ func (l *LANC) Reset() {
 	l.xPow = 0
 	l.powAge = 0
 	l.errVar = 0
+	l.concealGuard = 0
+	l.profileGuard = 0
+	l.rampLeft = 0
 	l.winFill = 0
 	l.hopCount = 0
 	l.smPrimed = false
@@ -430,6 +546,13 @@ func (l *LANC) profileStep(xNew float64) bool {
 		return false
 	}
 	l.hopCount = 0
+	// A concealed sample still inside the signature window would make any
+	// window look quieter than the room is (worst case: a long burst
+	// classifies as silence and swaps the filter out mid-noise). Hold the
+	// current profile until the window holds only real samples again.
+	if l.profileGuard > 0 {
+		return false
+	}
 	sig, err := profile.Compute(l.window, l.cfg.SampleRate, l.cfg.ProfileBands)
 	if err != nil {
 		return false

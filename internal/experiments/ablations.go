@@ -153,7 +153,8 @@ func All(c Config) ([]*Figure, error) {
 	type fn func(Config) (*Figure, error)
 	fns := []fn{Fig8, Fig12, Fig13, Fig14, Fig15, Fig16, Fig17, Fig18, Fig19, LookaheadTable,
 		AblationTaps, AblationFMSNR, AblationNormalization,
-		Variants, Mobility, Contention, TrackerExperiment, MultiSource, AblationRLS}
+		Variants, Mobility, Contention, TrackerExperiment, MultiSource, AblationRLS,
+		LossSweep}
 	out := make([]*Figure, len(fns))
 	err := parallelFor(c.Workers, len(fns), func(i int) error {
 		fig, err := fns[i](c)
@@ -191,6 +192,7 @@ func ByID(id string) (func(Config) (*Figure, error), bool) {
 		"tracker":        TrackerExperiment,
 		"multisource":    MultiSource,
 		"ablation-rls":   AblationRLS,
+		"loss":           LossSweep,
 	}
 	f, ok := m[id]
 	return f, ok

@@ -1,0 +1,186 @@
+package experiments
+
+import (
+	"mute/internal/audio"
+	"mute/internal/core"
+	"mute/internal/dsp"
+	"mute/internal/sim"
+	"mute/internal/stream"
+)
+
+// LossSweep measures cancellation against packet loss on the forwarded
+// reference: the transport-robustness experiment for the digital-relay
+// deployment. The reference reaches the ear device framed over a
+// fault-injected link (i.i.d. and Gilbert–Elliott burst loss), with FEC
+// on/off and the canceller's concealment-freeze mode on/off, at loss
+// rates from 0 to 20%.
+//
+// The scenario is a large-lookahead deployment (the paper's Section 6
+// "smart noise source" regime): geometric lookahead covers the playout
+// buffering the transport needs (prime·frame + N + slack samples), so
+// loss — not latency — is the variable under test. Naive adaptation
+// treats the jitter buffer's zero-fill concealment as real audio and
+// corrupts its filter at every burst; the freeze mode holds the weights
+// until concealed samples leave the gradient window and ramps back after,
+// degrading toward the passive floor instead.
+func LossSweep(c Config) (*Figure, error) {
+	c = c.Defaults()
+	rates := []float64{0, 0.02, 0.05, 0.10, 0.20}
+	type variant struct {
+		name   string
+		burst  float64 // Gilbert–Elliott mean burst length (0 = i.i.d.)
+		fec    bool
+		freeze bool
+	}
+	var variants []variant
+	for _, b := range []struct {
+		tag  string
+		mean float64
+	}{{"iid", 0}, {"burst", 4}} {
+		for _, freeze := range []bool{false, true} {
+			for _, fec := range []bool{false, true} {
+				name := "naive"
+				if freeze {
+					name = "freeze"
+				}
+				if fec {
+					name += "+fec"
+				}
+				variants = append(variants, variant{name + "_" + b.tag, b.mean, fec, freeze})
+			}
+		}
+	}
+
+	ys := make([]float64, len(variants)*len(rates))
+	err := parallelFor(c.Workers, len(ys), func(i int) error {
+		v := variants[i/len(rates)]
+		ri := i % len(rates)
+		// Paired seeds: all four policy variants of one (rate, burstiness)
+		// cell share the same noise and link seeds, so curves differ only
+		// by policy, and every cell is deterministic for any worker count.
+		burstIdx := uint64(0)
+		if v.burst > 0 {
+			burstIdx = 1
+		}
+		link := stream.LossParams{
+			Seed:      c.Seed*1009 + uint64(ri)*17 + burstIdx*5,
+			Loss:      rates[ri],
+			MeanBurst: v.burst,
+		}
+		db, err := lossRun(c, link, v.fec, v.freeze, c.Seed+uint64(ri)*23)
+		if err != nil {
+			return err
+		}
+		ys[i] = db
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	fig := &Figure{
+		ID:     "loss",
+		Title:  "Cancellation vs reference packet loss (freeze/FEC policies)",
+		XLabel: "loss rate (%)",
+		YLabel: "residual vs no-ANC (dB)",
+	}
+	at := func(vi, ri int) float64 { return ys[vi*len(rates)+ri] }
+	for vi, v := range variants {
+		s := Series{Name: v.name}
+		for ri, r := range rates {
+			s.X = append(s.X, r*100)
+			s.Y = append(s.Y, at(vi, ri))
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	// Headline: burst loss at 10% — freeze+FEC vs naive, and freeze+FEC's
+	// own degradation from the lossless baseline.
+	var naiveB, freezeFECB int
+	for vi, v := range variants {
+		switch v.name {
+		case "naive_burst":
+			naiveB = vi
+		case "freeze+fec_burst":
+			freezeFECB = vi
+		}
+	}
+	r10 := 3 // index of 0.10 in rates
+	fig.Notes = append(fig.Notes,
+		note("10%% burst loss: freeze+FEC %.1f dB vs naive %.1f dB",
+			at(freezeFECB, r10), at(naiveB, r10)),
+		note("freeze+FEC degradation 0%%→10%% loss: %.1f dB",
+			at(freezeFECB, r10)-at(freezeFECB, 0)))
+	return fig, nil
+}
+
+// lossRun scores one (link, policy) cell: residual power at the ear versus
+// the uncancelled primary, in dB over the converged second half (negative
+// is better; 0 dB is the passive floor).
+//
+// Scoring skips samples whose anti-noise window still contains concealed
+// reference — there the residual equals the passive floor for every
+// policy, because the audio simply never arrived, and averaging that
+// common floor in would mask the effect under test. What remains is
+// cancellation where cancellation is possible: it stays at the baseline
+// when the filter survived the burst, and collapses when naive adaptation
+// corrupted it.
+func lossRun(c Config, link stream.LossParams, fec, freeze bool, noiseSeed uint64) (float64, error) {
+	const (
+		frameN = 40 // 5 ms frames at 8 kHz
+		prime  = 4  // playout buffer covers the FEC group and jitter
+		nTaps  = 32
+		causal = 128
+		slack  = 4 // lookahead margin beyond the non-causal taps
+	)
+	n := int(c.Duration * c.SampleRate)
+	clean := audio.Render(audio.NewWhiteNoise(noiseSeed, c.SampleRate, c.NoiseAmp), n)
+	lt := sim.LossTransport{Link: link, FrameSamples: frameN, PrimeFrames: prime}
+	if fec {
+		lt.FECGroup = 4
+	}
+	recv, mask, _, err := sim.PacketizeReference(clean, lt)
+	if err != nil {
+		return 0, err
+	}
+
+	// The same synthetic acoustic leg as cmd/muteear's self-test: the ear
+	// hears the source through a short room tail while the reference
+	// stream runs shift = N + slack samples ahead — what remains of the
+	// deployment's lookahead after the playout buffer consumed its share.
+	secPath := []float64{0.85, 0.22, 0.06}
+	lanc, err := core.New(core.Config{
+		NonCausalTaps: nTaps,
+		CausalTaps:    causal,
+		Mu:            0.1,
+		Normalized:    true,
+		Leak:          0.0005,
+		SecondaryPath: secPath,
+		LossAware:     freeze,
+	})
+	if err != nil {
+		return 0, err
+	}
+	earCh := dsp.NewStreamConvolver([]float64{0.8, 0.25, 0.1, 0.05})
+	secCh := dsp.NewStreamConvolver(secPath)
+	const shift = nTaps + slack
+	steps := n - shift
+	var resPow, priPow float64
+	window := 0 // samples until the anti-noise window is all-real again
+	e := 0.0
+	for t := 0; t < steps; t++ {
+		real := mask[t+shift]
+		a := lanc.StepMasked(recv[t+shift], e, real)
+		d := earCh.Process(clean[t])
+		e = d + secCh.Process(a)
+		if real {
+			window--
+		} else {
+			window = nTaps + causal + 1
+		}
+		if t >= steps/2 && window <= 0 {
+			resPow += e * e
+			priPow += d * d
+		}
+	}
+	return dsp.DB((resPow + dsp.EpsilonPower) / (priPow + dsp.EpsilonPower)), nil
+}

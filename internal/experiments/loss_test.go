@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+func lossSeries(t *testing.T, fig *Figure, name string) Series {
+	t.Helper()
+	for _, s := range fig.Series {
+		if s.Name == name {
+			return s
+		}
+	}
+	t.Fatalf("series %q missing from %v", name, fig.Series)
+	return Series{}
+}
+
+func TestLossSweepShapes(t *testing.T) {
+	fig, err := LossSweep(Config{Duration: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig.ID != "loss" || len(fig.Series) != 8 {
+		t.Fatalf("malformed figure: id=%q series=%d", fig.ID, len(fig.Series))
+	}
+	naive := lossSeries(t, fig, "naive_burst")
+	freeze := lossSeries(t, fig, "freeze_burst")
+	freezeFEC := lossSeries(t, fig, "freeze+fec_burst")
+	naiveIID := lossSeries(t, fig, "naive_iid")
+	freezeIID := lossSeries(t, fig, "freeze_iid")
+
+	// At 0% loss the freeze mode must match naive exactly: the loss-aware
+	// path is bit-identical when nothing is concealed.
+	if naive.Y[0] != freeze.Y[0] || naiveIID.Y[0] != freezeIID.Y[0] {
+		t.Errorf("freeze != naive at 0%% loss: %.2f vs %.2f (burst), %.2f vs %.2f (iid)",
+			freeze.Y[0], naive.Y[0], freezeIID.Y[0], naiveIID.Y[0])
+	}
+	// Everyone cancels at 0% loss.
+	if naive.Y[0] > -10 {
+		t.Errorf("lossless baseline too weak: %.1f dB", naive.Y[0])
+	}
+	// The headline: at 5% and 10% burst loss, freezing on concealment
+	// beats naive adaptation by several dB.
+	for _, ri := range []int{2, 3} { // rates[2]=5%, rates[3]=10%
+		if freeze.Y[ri] > naive.Y[ri]-3 {
+			t.Errorf("at %.0f%% burst loss freeze = %.1f dB, naive = %.1f dB; want ≥ 3 dB better",
+				naive.X[ri], freeze.Y[ri], naive.Y[ri])
+		}
+	}
+	// freeze+FEC holds within a few dB of the lossless baseline up to 10%.
+	if d := freezeFEC.Y[3] - freezeFEC.Y[0]; d > 6 {
+		t.Errorf("freeze+FEC degraded %.1f dB from 0%% to 10%% loss, want ≤ 6", d)
+	}
+	// Nothing may ever amplify above the passive floor.
+	for _, s := range fig.Series {
+		if s.Name == "naive_burst" || s.Name == "naive_iid" {
+			continue // naive is allowed to collapse; that is the finding
+		}
+		for i, y := range s.Y {
+			if y > 1 {
+				t.Errorf("%s amplified at %.0f%% loss: %.1f dB", s.Name, s.X[i], y)
+			}
+		}
+	}
+}
+
+func TestLossSweepDeterministicAcrossWorkers(t *testing.T) {
+	c := Config{Duration: 2, Seed: 3}
+	c1, c8 := c, c
+	c1.Workers = 1
+	c8.Workers = 8
+	f1, err := LossSweep(c1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f8, err := LossSweep(c8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(f1.Series, f8.Series) {
+		t.Error("loss sweep differs between 1 and 8 workers")
+	}
+}

@@ -90,6 +90,13 @@ type Params struct {
 	// forwarded reference — the paper's delayed-line trick for shrinking
 	// lookahead without moving hardware (Figure 16).
 	ExtraReferenceDelay int
+	// LossTransport, when non-nil, routes the forwarded reference through
+	// the packetized stream layer (framing, fault-injected link, optional
+	// FEC, jitter buffer) instead of the ideal sample-synchronous wire.
+	// Its playout buffering consumes PrimeSamples of lookahead, and the
+	// canceller adapts through the returned concealment mask (LANC schemes
+	// only; the Bose schemes have no wireless leg).
+	LossTransport *LossTransport
 
 	// CausalTaps is LANC's causal filter length L.
 	CausalTaps int
@@ -159,6 +166,9 @@ type Result struct {
 	// Switches is the number of predictive filter switches (profiling
 	// runs only).
 	Switches int
+	// Transport carries the packetized-link counters when
+	// Params.LossTransport was set (nil otherwise).
+	Transport *LossTransportStats
 	// SampleRate echoes the scene rate.
 	SampleRate float64
 	// Elapsed is the wall-clock time the run took, for throughput metrics.
@@ -314,7 +324,28 @@ func Run(p Params, scheme Scheme) (*Result, error) {
 		copy(on, underCup)
 		copy(residual, underCup)
 	case scheme.usesLANC():
-		la := res.LookaheadSamples - p.ExtraReferenceDelay
+		// The packetized transport replaces the ideal reference wire with
+		// framed, lossy delivery plus a concealment mask. Its playout
+		// buffering delays the reference by PrimeSamples, which comes
+		// straight out of the lookahead budget below.
+		var mask []bool
+		prime := 0
+		if p.LossTransport != nil {
+			recv, m, tstats, err := PacketizeReference(forwarded, *p.LossTransport)
+			if err != nil {
+				return nil, err
+			}
+			prime = p.LossTransport.PrimeSamples()
+			shifted := make([]float64, n)
+			mask = make([]bool, n)
+			for t := prime; t < n; t++ {
+				shifted[t] = recv[t-prime]
+				mask[t] = m[t-prime]
+			}
+			forwarded = shifted
+			res.Transport = &tstats
+		}
+		la := res.LookaheadSamples - p.ExtraReferenceDelay - prime
 		if la < 0 {
 			la = 0
 		}
@@ -342,13 +373,22 @@ func Run(p Params, scheme Scheme) (*Result, error) {
 			MaxProfiles:      p.MaxProfiles,
 			SampleRate:       fs,
 		}
+		if p.LossTransport != nil {
+			cfg.LossAware = p.LossTransport.LossAware
+			cfg.RecoveryRamp = p.LossTransport.RecoveryRamp
+		}
 		lanc, err := core.New(cfg)
 		if err != nil {
 			return nil, err
 		}
 		e := 0.0
 		for t := 0; t < n; t++ {
-			a := lanc.Step(forwarded[t], e)
+			var a float64
+			if mask != nil {
+				a = lanc.StepMasked(forwarded[t], e, mask[t])
+			} else {
+				a = lanc.Step(forwarded[t], e)
+			}
 			meas := underCup[t] + secCh.Process(a)
 			on[t] = meas
 			e = meas + p.EarMicNoiseRMS*earNoise.Norm()

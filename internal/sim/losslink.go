@@ -1,0 +1,169 @@
+package sim
+
+import (
+	"fmt"
+
+	"mute/internal/stream"
+)
+
+// LossTransport routes the forwarded reference through the packetized
+// stream layer — framing, an impaired link, optional FEC, and the jitter
+// buffer — instead of the ideal sample-synchronous wire. It models a
+// digital RF/UDP relay deployment where the reference arrives in frames
+// that can be lost, delayed, duplicated, or reordered.
+//
+// The receiver holds PrimeFrames frames of playout buffering so FEC and
+// jittered frames can arrive in time; that buffering consumes lookahead
+// sample for sample, so the transport fits deployments whose geometric
+// lookahead exceeds PrimeFrames·FrameSamples (the paper's Section 6
+// "smart noise source" regime, where the reference is known well ahead).
+type LossTransport struct {
+	// Link configures the fault injector.
+	Link stream.LossParams
+	// FrameSamples is the samples per frame (default 80 = 10 ms at 8 kHz).
+	FrameSamples int
+	// FECGroup enables one parity frame per group of K data frames
+	// (0 = off; otherwise 2..stream limits).
+	FECGroup int
+	// Depth is the jitter-buffer depth in frames (default 32).
+	Depth int
+	// PrimeFrames is the playout buffer depth in frames: frame k is played
+	// only after frame k+PrimeFrames was offered to the link. Must cover
+	// the FEC group and jitter spread for recovery to land in time.
+	PrimeFrames int
+	// LossAware selects the canceller's concealment-freeze mode
+	// (core.Config.LossAware) when the transport is wired into Run.
+	LossAware bool
+	// RecoveryRamp overrides the canceller's post-loss ramp (0 = default).
+	RecoveryRamp int
+}
+
+// withDefaults fills zero fields and validates.
+func (lt LossTransport) withDefaults() (LossTransport, error) {
+	if lt.FrameSamples == 0 {
+		lt.FrameSamples = 80
+	}
+	if lt.FrameSamples < 0 || lt.FrameSamples > stream.MaxFrameSamples {
+		return lt, fmt.Errorf("sim: frame size %d outside (0, %d]", lt.FrameSamples, stream.MaxFrameSamples)
+	}
+	if lt.Depth == 0 {
+		lt.Depth = 32
+	}
+	if lt.Depth < 0 {
+		return lt, fmt.Errorf("sim: negative jitter depth %d", lt.Depth)
+	}
+	if lt.PrimeFrames < 0 {
+		return lt, fmt.Errorf("sim: negative prime depth %d", lt.PrimeFrames)
+	}
+	return lt, nil
+}
+
+// PrimeSamples is the playout-buffer latency in samples — the lookahead
+// the transport consumes.
+func (lt LossTransport) PrimeSamples() int {
+	if lt.FrameSamples == 0 {
+		lt.FrameSamples = 80
+	}
+	return lt.PrimeFrames * lt.FrameSamples
+}
+
+// LossTransportStats aggregates the transport-side counters of one run.
+type LossTransportStats struct {
+	// Jitter is the receive-side jitter-buffer view (late, duplicate,
+	// dropped, concealed samples).
+	Jitter stream.JitterStats
+	// Link is the fault injector's view (offered, dropped, duplicated...).
+	Link stream.LinkStats
+	// FECRecovered counts frames reconstructed from parity.
+	FECRecovered uint64
+}
+
+// PacketizeReference pushes ref through the packetized transport and
+// returns the receiver's reconstruction, time-aligned to the capture
+// clock: recv[i] corresponds to ref[i], mask[i] reports whether it is a
+// real received sample (false = zero-filled concealment). The caller
+// applies the PrimeSamples playout shift. The run is fully deterministic
+// for a fixed lt.Link.Seed.
+func PacketizeReference(ref []float64, lt LossTransport) ([]float64, []bool, LossTransportStats, error) {
+	var stats LossTransportStats
+	lt, err := lt.withDefaults()
+	if err != nil {
+		return nil, nil, stats, err
+	}
+	link, err := stream.NewLossyLink(lt.Link)
+	if err != nil {
+		return nil, nil, stats, err
+	}
+	var enc *stream.FECEncoder
+	if lt.FECGroup > 0 {
+		if enc, err = stream.NewFECEncoder(lt.FECGroup); err != nil {
+			return nil, nil, stats, err
+		}
+	}
+	jb, err := stream.NewJitterBuffer(lt.Depth)
+	if err != nil {
+		return nil, nil, stats, err
+	}
+	jb.Anchor(0) // the capture epoch is known out of band
+	dec := stream.NewFECDecoder(4 * lt.Depth)
+
+	deliver := func(frames []*stream.Frame) {
+		for _, f := range frames {
+			out := dec.Add(f)
+			if out == nil {
+				continue
+			}
+			if out != f {
+				stats.FECRecovered++
+			}
+			jb.Push(out)
+		}
+	}
+
+	frameN := lt.FrameSamples
+	nFrames := (len(ref) + frameN - 1) / frameN
+	padded := len(ref)
+	if nFrames*frameN != padded {
+		padded = nFrames * frameN
+	}
+	recv := make([]float64, padded)
+	mask := make([]bool, padded)
+	pop := func(k int) {
+		start := k * frameN
+		jb.PopMask(recv[start:start+frameN], mask[start:start+frameN])
+	}
+
+	seq := uint32(0)
+	popped := 0
+	for k := 0; k < nFrames; k++ {
+		samples := ref[k*frameN : min((k+1)*frameN, len(ref))]
+		if len(samples) < frameN {
+			full := make([]float64, frameN)
+			copy(full, samples)
+			samples = full
+		}
+		f := &stream.Frame{Seq: seq, Timestamp: uint64(k * frameN), Samples: samples}
+		seq++
+		deliver(link.Transfer(f))
+		if enc != nil {
+			if parity := enc.Add(f); parity != nil {
+				parity.Seq = seq
+				seq++
+				deliver(link.Transfer(parity))
+			}
+		}
+		if k >= lt.PrimeFrames {
+			pop(popped)
+			popped++
+		}
+	}
+	// End of stream: everything still in flight lands, then the remaining
+	// playout windows drain.
+	deliver(link.Drain())
+	for ; popped < nFrames; popped++ {
+		pop(popped)
+	}
+	stats.Jitter = jb.Stats()
+	stats.Link = link.Stats()
+	return recv[:len(ref)], mask[:len(ref)], stats, nil
+}

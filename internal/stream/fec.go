@@ -89,12 +89,7 @@ func NewFECDecoder(horizon int) *FECDecoder {
 func (d *FECDecoder) Add(f *Frame) *Frame {
 	if !f.Parity {
 		if _, ok := d.recent[f.Timestamp]; !ok {
-			d.recent[f.Timestamp] = f
-			d.order = append(d.order, f.Timestamp)
-			if len(d.order) > d.horizon {
-				delete(d.recent, d.order[0])
-				d.order = d.order[1:]
-			}
+			d.remember(f)
 		}
 		return f
 	}
@@ -135,7 +130,19 @@ func (d *FECDecoder) Add(f *Frame) *Frame {
 		rec.Samples[i] = v
 	}
 	// Remember the reconstruction so a duplicate parity cannot re-emit it.
-	d.recent[missingTS] = rec
-	d.order = append(d.order, missingTS)
+	// This goes through the same horizon trim as the data-frame branch:
+	// under sustained loss every group adds a recovered frame, and an
+	// untrimmed append would grow recent/order without bound.
+	d.remember(rec)
 	return rec
+}
+
+// remember stores a data frame and trims the memory to the horizon.
+func (d *FECDecoder) remember(f *Frame) {
+	d.recent[f.Timestamp] = f
+	d.order = append(d.order, f.Timestamp)
+	for len(d.order) > d.horizon {
+		delete(d.recent, d.order[0])
+		d.order = d.order[1:]
+	}
 }

@@ -160,6 +160,48 @@ func TestFECDuplicateParityDoesNotDoubleEmit(t *testing.T) {
 	}
 }
 
+// TestFECDecoderHorizonBoundsMemoryUnderSustainedLoss feeds many groups
+// with one loss each — the regime where every parity frame yields a
+// reconstruction — and asserts the decoder's memory stays within its
+// horizon. The recovered-frame branch used to append to the order list
+// without the trim applied to data frames, growing without bound.
+func TestFECDecoderHorizonBoundsMemoryUnderSustainedLoss(t *testing.T) {
+	const group, size, horizon, groups = 4, 40, 16, 200
+	enc, err := NewFECEncoder(group)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := NewFECDecoder(horizon)
+	frames := dataFrames(t, 7, groups*group, size)
+	recovered := 0
+	for g := 0; g < groups; g++ {
+		var parity *Frame
+		for k := 0; k < group; k++ {
+			f := frames[g*group+k]
+			if p := enc.Add(f); p != nil {
+				parity = p
+			}
+			if k == 1 {
+				continue // lose the second frame of every group
+			}
+			dec.Add(f)
+		}
+		if parity == nil {
+			t.Fatal("no parity produced")
+		}
+		if dec.Add(parity) != nil {
+			recovered++
+		}
+	}
+	if recovered != groups {
+		t.Errorf("recovered %d frames, want %d", recovered, groups)
+	}
+	if len(dec.recent) > horizon || len(dec.order) > horizon {
+		t.Errorf("decoder memory exceeded horizon: recent=%d order=%d, horizon=%d",
+			len(dec.recent), len(dec.order), horizon)
+	}
+}
+
 func TestParityFrameWireRoundTrip(t *testing.T) {
 	p := &Frame{Seq: 9, Timestamp: 160, Parity: true, GroupSize: 4, Samples: []float64{0.1, -0.2}}
 	buf, err := p.Marshal()
@@ -208,19 +250,23 @@ func TestUDPEndToEndWithFECAndLoss(t *testing.T) {
 	if err := tx.Send(in); err != nil {
 		t.Fatal(err)
 	}
+	// 8 data + 2 parity datagrams were sent; Poll returns true only for
+	// the 8 data frames that reach the jitter buffer (parity frames of
+	// complete groups reconstruct nothing and report false).
 	deadline := time.Now().Add(2 * time.Second)
-	frames := 0
-	for frames < 10 && time.Now().Before(deadline) {
+	buffered := 0
+	for rx.Buffered() < 8 && time.Now().Before(deadline) {
 		got, err := rx.Poll(50 * time.Millisecond)
 		if err != nil {
 			t.Fatal(err)
 		}
 		if got {
-			frames++
+			buffered++
 		}
 	}
-	// 8 data + 2 parity datagrams were sent; the jitter buffer should
-	// hold only the 8 data frames (complete groups reconstruct nothing).
+	if buffered != 8 {
+		t.Errorf("polls reporting buffered = %d, want 8 data frames", buffered)
+	}
 	if rx.Buffered() != 8 {
 		t.Errorf("buffered = %d, want 8 data frames", rx.Buffered())
 	}

@@ -2,6 +2,7 @@ package stream
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 )
 
@@ -14,6 +15,8 @@ type JitterStats struct {
 	FramesDuplicate uint64
 	// FramesLate counts frames that arrived after their playout point.
 	FramesLate uint64
+	// FramesDropped counts on-time frames evicted by a depth overflow.
+	FramesDropped uint64
 	// SamplesConcealed counts zero-filled (lost) samples handed out.
 	SamplesConcealed uint64
 	// SamplesDelivered counts real samples handed out.
@@ -21,12 +24,14 @@ type JitterStats struct {
 }
 
 // JitterBuffer reassembles timestamped frames into an ordered sample
-// stream. Missing samples are concealed with zeros (losing lookahead, not
-// correctness — LANC degrades gracefully when reference samples are
-// silent). It is safe for one writer and one reader goroutine.
+// stream. Missing samples are concealed with zeros, and PopMask reports
+// exactly which samples were concealed so a loss-aware canceller can
+// freeze adaptation instead of chasing the zeros. It is safe for one
+// writer and one reader goroutine.
 type JitterBuffer struct {
 	mu      sync.Mutex
 	frames  map[uint64]*Frame // keyed by Timestamp
+	order   []uint64          // buffered timestamps, ascending
 	next    uint64            // capture-clock index of the next sample out
 	started bool
 	depth   int // max buffered frames
@@ -41,9 +46,28 @@ func NewJitterBuffer(depth int) (*JitterBuffer, error) {
 	return &JitterBuffer{frames: make(map[uint64]*Frame), depth: depth}, nil
 }
 
-// Push inserts a received frame. The first frame anchors the playout
-// clock. Frames entirely before the playout point are dropped as late.
-func (j *JitterBuffer) Push(f *Frame) {
+// Anchor pins the playout clock to capture index ts, for receivers that
+// know the stream epoch out of band (e.g. the in-process simulator, whose
+// capture clock starts at 0). Without it the first pushed frame anchors
+// the clock — wrong when that frame is not the first one sent. Anchoring
+// after the clock has started is a no-op.
+func (j *JitterBuffer) Anchor(ts uint64) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.started {
+		return
+	}
+	j.next = ts
+	j.started = true
+}
+
+// Push inserts a received frame and reports whether it was buffered. The
+// first frame anchors the playout clock (unless Anchor ran first). Frames
+// entirely before the playout point are dropped as late, duplicates are
+// ignored, and a full buffer evicts its oldest frame (counted as dropped,
+// not late — it arrived on time) to bound memory; only a true return
+// means the frame's samples can still reach a Pop.
+func (j *JitterBuffer) Push(f *Frame) bool {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if !j.started {
@@ -52,78 +76,94 @@ func (j *JitterBuffer) Push(f *Frame) {
 	}
 	if f.Timestamp+uint64(len(f.Samples)) <= j.next {
 		j.stats.FramesLate++
-		return
+		return false
 	}
 	if _, dup := j.frames[f.Timestamp]; dup {
 		j.stats.FramesDuplicate++
-		return
+		return false
 	}
 	if len(j.frames) >= j.depth {
-		// Drop the oldest buffered frame to bound memory.
-		var oldest uint64
-		first := true
-		for ts := range j.frames {
-			if first || ts < oldest {
-				oldest = ts
-				first = false
-			}
-		}
+		oldest := j.order[0]
+		j.order = j.order[1:]
 		delete(j.frames, oldest)
-		j.stats.FramesLate++
+		j.stats.FramesDropped++
 	}
 	j.frames[f.Timestamp] = f
+	i := sort.Search(len(j.order), func(k int) bool { return j.order[k] > f.Timestamp })
+	j.order = append(j.order, 0)
+	copy(j.order[i+1:], j.order[i:])
+	j.order[i] = f.Timestamp
 	j.stats.FramesReceived++
+	return true
 }
 
 // Pop fills dst with the next len(dst) samples of the reassembled stream,
 // zero-filling gaps, and advances the playout clock. It returns the number
-// of real (non-concealed) samples delivered. Before any frame has arrived,
+// of real (non-concealed) samples delivered. Before the clock has started,
 // dst is all zeros and the clock does not advance.
-func (j *JitterBuffer) Pop(dst []float64) int {
+func (j *JitterBuffer) Pop(dst []float64) int { return j.PopMask(dst, nil) }
+
+// PopMask is Pop plus a concealment mask: when mask is non-nil it must be
+// at least len(dst) long, and mask[i] is set true where dst[i] is a real
+// received sample and false where it was concealed (zero-filled). The
+// walk follows the ordered frame index, so a fully-concealed pop costs
+// O(len(dst)) rather than a map scan per sample.
+func (j *JitterBuffer) PopMask(dst []float64, mask []bool) int {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	for i := range dst {
 		dst[i] = 0
 	}
+	if mask != nil {
+		for i := range dst {
+			mask[i] = false
+		}
+	}
 	if !j.started {
 		return 0
 	}
 	real := 0
-	for i := 0; i < len(dst); {
-		ts := j.next + uint64(i)
-		f, off := j.findLocked(ts)
-		if f == nil {
-			j.stats.SamplesConcealed++
-			i++
+	end := j.next + uint64(len(dst))
+	i := 0
+	for i < len(dst) && len(j.order) > 0 {
+		ts := j.order[0]
+		f := j.frames[ts]
+		cur := j.next + uint64(i)
+		if ts+uint64(len(f.Samples)) <= cur {
+			// Fully in the past (overlapped by an earlier frame).
+			delete(j.frames, ts)
+			j.order = j.order[1:]
 			continue
 		}
-		// Copy as much of this frame as fits.
-		for off < len(f.Samples) && i < len(dst) {
-			dst[i] = f.Samples[off]
-			off++
-			i++
-			real++
-			j.stats.SamplesDelivered++
+		if ts >= end {
+			break // earliest frame starts beyond this window: conceal the rest
 		}
-		if off >= len(f.Samples) {
-			delete(j.frames, f.Timestamp)
+		if ts > cur {
+			i += int(ts - cur) // concealed gap before the frame
+			cur = ts
+		}
+		off := int(cur - ts)
+		n := len(f.Samples) - off
+		if rem := len(dst) - i; n > rem {
+			n = rem
+		}
+		copy(dst[i:i+n], f.Samples[off:off+n])
+		if mask != nil {
+			for k := i; k < i+n; k++ {
+				mask[k] = true
+			}
+		}
+		i += n
+		real += n
+		if off+n >= len(f.Samples) {
+			delete(j.frames, ts)
+			j.order = j.order[1:]
 		}
 	}
+	j.stats.SamplesDelivered += uint64(real)
+	j.stats.SamplesConcealed += uint64(len(dst) - real)
 	j.next += uint64(len(dst))
 	return real
-}
-
-// findLocked locates the buffered frame containing capture index ts.
-func (j *JitterBuffer) findLocked(ts uint64) (*Frame, int) {
-	if f, ok := j.frames[ts]; ok {
-		return f, 0
-	}
-	for start, f := range j.frames {
-		if ts > start && ts < start+uint64(len(f.Samples)) {
-			return f, int(ts - start)
-		}
-	}
-	return nil, 0
 }
 
 // Buffered returns the number of frames currently held.

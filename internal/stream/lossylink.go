@@ -1,0 +1,214 @@
+package stream
+
+import (
+	"fmt"
+	"sort"
+
+	"mute/internal/audio"
+)
+
+// LossyLink is a deterministic, seeded impairment model for the frame
+// transport: it drops, duplicates, delays, and reorders frames the way a
+// congested RF/UDP link would, so the loss-concealment and FEC machinery
+// can be exercised reproducibly — in-process (the simulator and the loss
+// experiments) or in front of a Sender's socket (see Sender.Impair).
+//
+// Time is measured in "slots": one slot per frame offered to the link, the
+// cadence at which the sender emits datagrams. A frame delayed by k slots
+// is delivered together with the frame offered k slots later, which is how
+// latency jitter turns into reordering at the receiver.
+
+// LossParams configures a LossyLink. The zero value is a perfect link.
+type LossParams struct {
+	// Seed drives all impairment randomness; identical seeds reproduce
+	// identical loss/delay patterns.
+	Seed uint64
+	// Loss is the stationary frame-loss probability in [0, 1).
+	Loss float64
+	// MeanBurst shapes the loss process: <= 1 selects i.i.d. (Bernoulli)
+	// drops; > 1 selects a Gilbert–Elliott two-state chain whose
+	// stationary loss rate is Loss and whose mean loss-burst length is
+	// MeanBurst frames — the bursty fading typical of real radio links.
+	MeanBurst float64
+	// Duplicate is the probability a delivered frame is transmitted
+	// twice; the copy lands one slot after the original.
+	Duplicate float64
+	// Reorder is the probability a delivered frame is held back one slot,
+	// letting its successor overtake it.
+	Reorder float64
+	// JitterProb is the probability a delivered frame suffers extra
+	// latency of 1..MaxJitter slots (uniform). Requires MaxJitter > 0.
+	JitterProb float64
+	// MaxJitter bounds the extra latency in slots.
+	MaxJitter int
+}
+
+// Validate checks the parameter ranges.
+func (p LossParams) Validate() error {
+	if p.Loss < 0 || p.Loss >= 1 {
+		return fmt.Errorf("stream: loss probability %g outside [0, 1)", p.Loss)
+	}
+	if p.MeanBurst < 0 {
+		return fmt.Errorf("stream: negative mean burst %g", p.MeanBurst)
+	}
+	for _, pr := range []struct {
+		name string
+		v    float64
+	}{{"duplicate", p.Duplicate}, {"reorder", p.Reorder}, {"jitter", p.JitterProb}} {
+		if pr.v < 0 || pr.v > 1 {
+			return fmt.Errorf("stream: %s probability %g outside [0, 1]", pr.name, pr.v)
+		}
+	}
+	if p.MaxJitter < 0 {
+		return fmt.Errorf("stream: negative max jitter %d", p.MaxJitter)
+	}
+	if p.JitterProb > 0 && p.MaxJitter == 0 {
+		return fmt.Errorf("stream: jitter probability %g needs MaxJitter > 0", p.JitterProb)
+	}
+	return nil
+}
+
+// LinkStats counts what the impairment model did to the offered frames.
+type LinkStats struct {
+	// Offered is the number of frames handed to the link.
+	Offered uint64
+	// Dropped is the number of frames the link lost.
+	Dropped uint64
+	// Duplicated is the number of extra copies the link injected.
+	Duplicated uint64
+	// Delayed is the number of frames delivered later than their slot.
+	Delayed uint64
+	// Delivered is the number of frames handed out (including copies).
+	Delivered uint64
+}
+
+type linkFrame struct {
+	due uint64 // slot at which the frame leaves the link
+	seq uint64 // insertion order, for a stable delivery sort
+	f   *Frame
+}
+
+// LossyLink applies LossParams to a frame stream. It is not safe for
+// concurrent use; wrap it in the owning goroutine (Sender does).
+type LossyLink struct {
+	p     LossParams
+	rng   *audio.RNG
+	slot  uint64
+	ins   uint64
+	bad   bool    // Gilbert–Elliott state
+	pGB   float64 // good → bad transition probability
+	pBG   float64 // bad → good transition probability
+	queue []linkFrame
+	stats LinkStats
+}
+
+// NewLossyLink creates an impairment model from validated parameters.
+func NewLossyLink(p LossParams) (*LossyLink, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	l := &LossyLink{p: p, rng: audio.NewRNG(p.Seed*0x9e3779b9 + 1)}
+	if p.MeanBurst > 1 && p.Loss > 0 {
+		// Two-state Gilbert–Elliott chain: lossless in Good, lossy in Bad.
+		// Mean Bad dwell = MeanBurst ⇒ pBG = 1/MeanBurst; the stationary
+		// Bad probability pGB/(pGB+pBG) must equal Loss.
+		l.pBG = 1 / p.MeanBurst
+		l.pGB = l.pBG * p.Loss / (1 - p.Loss)
+	}
+	return l, nil
+}
+
+// drop decides the fate of one offered frame, advancing the loss process.
+func (l *LossyLink) drop() bool {
+	if l.pBG > 0 {
+		if l.bad {
+			if l.rng.Float64() < l.pBG {
+				l.bad = false
+			}
+		} else if l.rng.Float64() < l.pGB {
+			l.bad = true
+		}
+		return l.bad
+	}
+	return l.p.Loss > 0 && l.rng.Float64() < l.p.Loss
+}
+
+func (l *LossyLink) enqueue(due uint64, f *Frame) {
+	l.queue = append(l.queue, linkFrame{due: due, seq: l.ins, f: f})
+	l.ins++
+}
+
+// takeDue removes and returns every queued frame due at or before slot,
+// ordered by (due, insertion).
+func (l *LossyLink) takeDue(slot uint64) []*Frame {
+	var due []linkFrame
+	kept := l.queue[:0]
+	for _, q := range l.queue {
+		if q.due <= slot {
+			due = append(due, q)
+		} else {
+			kept = append(kept, q)
+		}
+	}
+	l.queue = kept
+	if len(due) == 0 {
+		return nil
+	}
+	sort.Slice(due, func(i, j int) bool {
+		if due[i].due != due[j].due {
+			return due[i].due < due[j].due
+		}
+		return due[i].seq < due[j].seq
+	})
+	out := make([]*Frame, len(due))
+	for i, q := range due {
+		out[i] = q.f
+	}
+	l.stats.Delivered += uint64(len(out))
+	return out
+}
+
+// Transfer offers f to the link, advances the link clock by one slot, and
+// returns the frames the link delivers in this slot, oldest first. A nil f
+// models an idle slot: time passes and delayed frames may emerge.
+func (l *LossyLink) Transfer(f *Frame) []*Frame {
+	if f != nil {
+		l.stats.Offered++
+		if l.drop() {
+			l.stats.Dropped++
+		} else {
+			delay := uint64(0)
+			if l.p.Reorder > 0 && l.rng.Float64() < l.p.Reorder {
+				delay = 1
+			}
+			if l.p.JitterProb > 0 && l.rng.Float64() < l.p.JitterProb {
+				delay += uint64(1 + l.rng.Intn(l.p.MaxJitter))
+			}
+			if delay > 0 {
+				l.stats.Delayed++
+			}
+			l.enqueue(l.slot+delay, f)
+			if l.p.Duplicate > 0 && l.rng.Float64() < l.p.Duplicate {
+				l.stats.Duplicated++
+				l.enqueue(l.slot+delay+1, f)
+			}
+		}
+	}
+	out := l.takeDue(l.slot)
+	l.slot++
+	return out
+}
+
+// Drain returns every frame still in flight, in delivery order, and
+// empties the link — the end-of-stream flush.
+func (l *LossyLink) Drain() []*Frame {
+	if len(l.queue) == 0 {
+		return nil
+	}
+	out := l.takeDue(l.slot + uint64(l.p.MaxJitter) + 2)
+	l.queue = l.queue[:0]
+	return out
+}
+
+// Stats returns a snapshot of the impairment counters.
+func (l *LossyLink) Stats() LinkStats { return l.stats }

@@ -15,6 +15,7 @@ type Sender struct {
 	clock        uint64
 	pending      []float64
 	fec          *FECEncoder
+	link         *LossyLink
 }
 
 // NewSender dials the receiver address ("host:port") and returns a sender
@@ -55,19 +56,35 @@ func (s *Sender) Send(samples []float64) error {
 	return nil
 }
 
-// Flush transmits any buffered partial frame.
+// Impair inserts a deterministic fault-injection link in front of the
+// socket: every frame (data and parity) passes through link, which may
+// drop, duplicate, delay, or reorder it before it reaches the wire. Call
+// before the first Send; Flush drains frames the link still holds.
+func (s *Sender) Impair(link *LossyLink) { s.link = link }
+
+// Flush transmits any buffered partial frame and drains the impairment
+// link, if one is installed.
 func (s *Sender) Flush() error {
-	if len(s.pending) == 0 {
-		return nil
+	if len(s.pending) > 0 {
+		block := s.pending
+		s.pending = nil
+		if err := s.emit(block); err != nil {
+			return err
+		}
 	}
-	err := s.emit(s.pending)
-	s.pending = nil
-	return err
+	if s.link != nil {
+		for _, f := range s.link.Drain() {
+			if err := s.write(f); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 func (s *Sender) emit(block []float64) error {
 	f := Frame{Seq: s.seq, Timestamp: s.clock, Samples: block}
-	if err := s.write(&f); err != nil {
+	if err := s.transmit(&f); err != nil {
 		return err
 	}
 	s.seq++
@@ -76,9 +93,23 @@ func (s *Sender) emit(block []float64) error {
 		if parity := s.fec.Add(&f); parity != nil {
 			parity.Seq = s.seq
 			s.seq++
-			if err := s.write(parity); err != nil {
+			if err := s.transmit(parity); err != nil {
 				return err
 			}
+		}
+	}
+	return nil
+}
+
+// transmit routes one frame through the impairment link (when installed)
+// and writes whatever the link delivers this slot.
+func (s *Sender) transmit(f *Frame) error {
+	if s.link == nil {
+		return s.write(f)
+	}
+	for _, out := range s.link.Transfer(f) {
+		if err := s.write(out); err != nil {
+			return err
 		}
 	}
 	return nil
@@ -131,8 +162,11 @@ func NewReceiver(addr string, depth int) (*Receiver, error) {
 func (r *Receiver) Addr() string { return r.conn.LocalAddr().String() }
 
 // Poll reads at most one datagram, waiting up to timeout. It returns true
-// if a frame was received and buffered, false on timeout. Malformed
-// datagrams are dropped with an error return.
+// only when a frame actually entered the jitter buffer — a data frame, or
+// a data frame FEC reconstructed from a parity frame. Parity frames that
+// recover nothing, late frames, and duplicates consume a datagram but
+// return false, as does a timeout; use Stats and Recovered to tell the
+// cases apart. Malformed datagrams are dropped with an error return.
 func (r *Receiver) Poll(timeout time.Duration) (bool, error) {
 	if err := r.conn.SetReadDeadline(time.Now().Add(timeout)); err != nil {
 		return false, err
@@ -149,13 +183,13 @@ func (r *Receiver) Poll(timeout time.Duration) (bool, error) {
 		return false, err
 	}
 	out := r.fec.Add(f)
-	if out != nil {
-		if out != f {
-			r.recovered++
-		}
-		r.jb.Push(out)
+	if out == nil {
+		return false, nil
 	}
-	return true, nil
+	if out != f {
+		r.recovered++
+	}
+	return r.jb.Push(out), nil
 }
 
 // Recovered returns how many lost frames FEC has reconstructed.
@@ -163,6 +197,10 @@ func (r *Receiver) Recovered() uint64 { return r.recovered }
 
 // Pop drains the next len(dst) ordered samples from the jitter buffer.
 func (r *Receiver) Pop(dst []float64) int { return r.jb.Pop(dst) }
+
+// PopMask is Pop plus the concealment mask: mask[i] is set true where
+// dst[i] is a real received sample and false where it was zero-filled.
+func (r *Receiver) PopMask(dst []float64, mask []bool) int { return r.jb.PopMask(dst, mask) }
 
 // Stats returns jitter-buffer statistics.
 func (r *Receiver) Stats() JitterStats { return r.jb.Stats() }

@@ -259,7 +259,11 @@ type CancellerConfig = core.Config
 
 // Canceller is the LANC adaptive filter for custom sample loops: call
 // Push with each wirelessly received reference sample, play AntiNoise
-// through your speaker, and feed the measured residual to Adapt.
+// through your speaker, and feed the measured residual to Adapt. When the
+// reference arrives over a lossy packet link, set CancellerConfig.LossAware
+// and use PushMasked/StepMasked with the jitter buffer's concealment mask
+// (Receiver.PopMask) so adaptation freezes over zero-filled gaps instead
+// of corrupting the filter.
 type Canceller = core.LANC
 
 // NewCanceller creates an embedded LANC instance.
@@ -306,4 +310,36 @@ func NewSender(addr string, frameSamples int) (*Sender, error) {
 // NewReceiver listens on addr with the given jitter-buffer depth.
 func NewReceiver(addr string, depth int) (*Receiver, error) {
 	return stream.NewReceiver(addr, depth)
+}
+
+// --- Fault injection and loss-aware transport ---------------------------------
+
+// LossParams configures the deterministic link fault injector: i.i.d. or
+// Gilbert–Elliott burst loss, duplication, reordering, and per-frame
+// latency jitter.
+type LossParams = stream.LossParams
+
+// LinkStats counts what a lossy link did to the offered frames.
+type LinkStats = stream.LinkStats
+
+// LossyLink is a seeded link impairment model. Install it on a Sender via
+// Impair for live fault injection, or drive it in-process with Transfer.
+type LossyLink = stream.LossyLink
+
+// NewLossyLink builds a fault injector from validated parameters.
+func NewLossyLink(p LossParams) (*LossyLink, error) { return stream.NewLossyLink(p) }
+
+// LossTransport routes a simulated run's forwarded reference through the
+// packetized stream layer (framing, lossy link, optional FEC, jitter
+// buffer); set Params.LossTransport to enable it.
+type LossTransport = sim.LossTransport
+
+// LossTransportStats aggregates the transport counters of such a run.
+type LossTransportStats = sim.LossTransportStats
+
+// PacketizeReference pushes a reference signal through the packetized
+// transport and returns the receiver's reconstruction plus its
+// concealment mask.
+func PacketizeReference(ref []float64, lt LossTransport) ([]float64, []bool, LossTransportStats, error) {
+	return sim.PacketizeReference(ref, lt)
 }
