@@ -20,14 +20,18 @@ package main
 
 import (
 	"encoding/json"
+	_ "expvar" // registers /debug/vars on the default mux
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"runtime"
 	"runtime/pprof"
 	"strings"
 
 	"mute/internal/experiments"
+	"mute/internal/telemetry"
 )
 
 func main() {
@@ -42,6 +46,9 @@ func main() {
 		workers    = flag.Int("workers", 0, "experiment worker pool size (0 = one per CPU, 1 = sequential)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		telem      = flag.Bool("telemetry", false, "print the aggregated pipeline telemetry report after the run")
+		traceOut   = flag.String("trace-out", "", "write per-stage JSONL trace (forces -workers 1 for a well-ordered stream)")
+		debugAddr  = flag.String("debug-addr", "", "serve expvar (/debug/vars) and pprof on this address")
 	)
 	flag.Parse()
 
@@ -79,6 +86,27 @@ func main() {
 		UseFMLink: *useFM,
 		Workers:   *workers,
 	}
+	// Observability is opt-in and result-neutral: the registry and trace
+	// only observe the runs (TestTelemetryResultNeutral pins this down).
+	var reg *telemetry.Registry
+	if *telem || *debugAddr != "" {
+		reg = telemetry.NewRegistry()
+		cfg.Telemetry = reg
+	}
+	var tr *telemetry.Trace
+	if *traceOut != "" {
+		tr = telemetry.NewTrace()
+		cfg.Trace = tr
+		cfg.Workers = 1 // a single worker keeps the event stream well-ordered
+	}
+	if *debugAddr != "" {
+		telemetry.PublishExpvar("mute", reg)
+		go func() {
+			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "mutebench: debug endpoint:", err)
+			}
+		}()
+	}
 	var figs []*experiments.Figure
 	if *figID == "all" {
 		all, err := experiments.All(cfg)
@@ -97,11 +125,20 @@ func main() {
 		}
 		figs = []*experiments.Figure{fig}
 	}
+	if *traceOut != "" {
+		if err := tr.WriteFile(*traceOut); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "mutebench: wrote %d trace events to %s\n", tr.Len(), *traceOut)
+	}
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(figs); err != nil {
 			fatal(err)
+		}
+		if *telem {
+			fmt.Fprint(os.Stderr, reg.Snapshot().Text())
 		}
 		return
 	}
@@ -111,6 +148,10 @@ func main() {
 		} else {
 			renderTable(fig)
 		}
+	}
+	if *telem {
+		fmt.Println("\n=== pipeline telemetry ===")
+		fmt.Print(reg.Snapshot().Text())
 	}
 }
 

@@ -18,8 +18,11 @@
 package main
 
 import (
+	_ "expvar" // registers /debug/vars on the default mux
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"time"
 
@@ -34,6 +37,8 @@ func main() {
 		lookaheadMs = flag.Float64("lookahead-ms", 8, "simulated acoustic lookahead")
 		frame       = flag.Int("frame", 80, "samples per processing block")
 		lossAware   = flag.Bool("loss-aware", true, "freeze adaptation over concealed (lost) samples")
+		traceOut    = flag.String("trace-out", "", "write a per-stage JSONL trace to this file")
+		debugAddr   = flag.String("debug-addr", "", "serve expvar (/debug/vars) and pprof on this address")
 	)
 	flag.Parse()
 
@@ -75,6 +80,29 @@ func main() {
 		fatal(err)
 	}
 
+	// Observability: the budget report shows where the configured lookahead
+	// goes (its entries sum to `lookahead` by construction); the optional
+	// trace records per-block pipeline state on the sample clock; the
+	// registry backs the expvar endpoint.
+	pd := mute.PipelineDelays{ADC: 1, DSP: 1, DAC: 1, Speaker: 1}
+	report := earBudget(fs, lookahead, pd, budget.UsableTaps)
+	fmt.Print(report.Text())
+	var tr *mute.Trace
+	if *traceOut != "" {
+		tr = mute.NewTrace()
+		report.Record(tr)
+	}
+	reg := mute.NewTelemetry()
+	if *debugAddr != "" {
+		mute.PublishTelemetry("mute", reg)
+		go func() {
+			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "muteear: debug endpoint:", err)
+			}
+		}()
+		fmt.Printf("muteear: expvar/pprof on http://%s/debug/vars\n", *debugAddr)
+	}
+
 	deadline := time.Now().Add(time.Duration(*duration * float64(time.Second)))
 	block := make([]float64, *frame)
 	mask := make([]bool, *frame)
@@ -93,6 +121,7 @@ func main() {
 			}
 		}
 		rx.PopMask(block, mask)
+		var blockRes float64
 		for i, x := range block {
 			lanc.Adapt(e)
 			lanc.PushMasked(x, mask[i])
@@ -104,11 +133,25 @@ func main() {
 			e = d + secChannel.Process(a)
 			noisePow += d * d
 			resPow += e * e
+			blockRes += e * e
 			samples++
 		}
+		if tr != nil {
+			traceBlock(tr, int64(samples), rx, lanc, blockRes, *frame)
+		}
+		reg.Counter("ear.samples").Add(int64(*frame))
+		reg.Gauge("ear.tap_energy").Set(lanc.TapEnergy())
+		reg.Gauge("ear.buffered_frames").Set(float64(rx.Buffered()))
 		time.Sleep(time.Duration(float64(*frame) / fs * float64(time.Second)))
 	}
 	st := rx.Stats()
+	st.Publish(reg, "stream.")
+	if *traceOut != "" {
+		if err := tr.WriteFile(*traceOut); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("muteear: wrote %d trace events to %s\n", tr.Len(), *traceOut)
+	}
 	fmt.Printf("muteear: %d samples, %d frames received (%d late, %d dropped), %d samples concealed, %d frames FEC-recovered\n",
 		samples, st.FramesReceived, st.FramesLate, st.FramesDropped, st.SamplesConcealed, rx.Recovered())
 	if noisePow > 0 && resPow > 0 {

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"mute/pkg/mute"
+)
+
+// earBudget itemizes where muteear's configured lookahead goes: the
+// processing pipeline (ADC/DSP/DAC/speaker), the non-causal taps the
+// canceller was granted, and whatever is left unused. The entries always
+// sum to the configured lookahead exactly (the golden invariant checked by
+// TestEarBudgetBalanced and, end to end, by the -trace-out JSONL), so the
+// budget report is an accounting identity, not an estimate.
+func earBudget(fs float64, lookahead int, pd mute.PipelineDelays, nTaps int) *mute.BudgetReport {
+	b := mute.NewBudgetReport(fs, lookahead)
+	b.Add("pipeline.adc", pd.ADC)
+	b.Add("pipeline.dsp", pd.DSP)
+	b.Add("pipeline.dac", pd.DAC)
+	b.Add("pipeline.speaker", pd.Speaker)
+	b.Add("lanc.noncausal_taps", nTaps)
+	rest := lookahead - pd.ADC - pd.DSP - pd.DAC - pd.Speaker - nTaps
+	if rest >= 0 {
+		b.Add("unused", rest)
+	} else {
+		b.Add("overdrawn", rest)
+	}
+	return b
+}
+
+// traceBlock records one processing block's view of the live pipeline:
+// stream-side jitter counters and lookahead-buffer occupancy, the
+// canceller's adaptation state, and the residual energy. t is the sample
+// clock (samples processed so far), so the JSONL lines up with the
+// simulator's traces.
+func traceBlock(tr *mute.Trace, t int64, rx *mute.Receiver, lanc *mute.Canceller, resPow float64, blockN int) {
+	st := rx.Stats()
+	tr.Record(t, mute.StageStream, "jitter", map[string]float64{
+		"frames_received":   float64(st.FramesReceived),
+		"frames_late":       float64(st.FramesLate),
+		"frames_dropped":    float64(st.FramesDropped),
+		"samples_concealed": float64(st.SamplesConcealed),
+		"fec_recovered":     float64(rx.Recovered()),
+	})
+	tr.Record(t, mute.StageLookahead, "occupancy", map[string]float64{
+		"frames": float64(rx.Buffered()),
+	})
+	gain, frozen, rampLeft := lanc.LossState()
+	frozenV := 0.0
+	if frozen {
+		frozenV = 1
+	}
+	tr.Record(t, mute.StageLANC, "state", map[string]float64{
+		"mu_eff":     lanc.EffectiveStep(),
+		"tap_energy": lanc.TapEnergy(),
+		"gain":       gain,
+		"frozen":     frozenV,
+		"ramp_left":  float64(rampLeft),
+	})
+	tr.Record(t, mute.StageResidual, "block", map[string]float64{
+		"power": resPow / float64(blockN),
+	})
+}

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"testing"
+
+	"mute/pkg/mute"
+)
+
+// TestEarBudgetBalanced pins the accounting identity behind -trace-out: the
+// per-stage lookahead-budget entries always sum to the configured lookahead
+// (within the one-sample rounding slack Balanced allows), whatever split
+// PlanBudget chose.
+func TestEarBudgetBalanced(t *testing.T) {
+	pd := mute.PipelineDelays{ADC: 1, DSP: 1, DAC: 1, Speaker: 1}
+	for _, lookahead := range []int{5, 8, 40, 64, 70, 128, 500} {
+		budget, err := mute.PlanBudget(lookahead, pd)
+		if err != nil {
+			t.Fatalf("PlanBudget(%d): %v", lookahead, err)
+		}
+		rep := earBudget(8000, lookahead, pd, budget.UsableTaps)
+		if !rep.Balanced() {
+			t.Errorf("lookahead %d: budget unbalanced: spent %d", lookahead, rep.SpentSamples())
+		}
+		if got := rep.SpentSamples(); got != lookahead {
+			t.Errorf("lookahead %d: entries sum to %d", lookahead, got)
+		}
+
+		// The same invariant must hold for what -trace-out serializes.
+		tr := mute.NewTrace()
+		rep.Record(tr)
+		var sum float64
+		for _, ev := range tr.Events() {
+			if ev.Stage != mute.StageBudget {
+				continue
+			}
+			sum += ev.Values["samples"]
+		}
+		if int(sum) != lookahead {
+			t.Errorf("lookahead %d: traced budget events sum to %g", lookahead, sum)
+		}
+	}
+}
+
+// TestEarBudgetOverdrawn checks that an impossible grant is reported, not
+// silently mis-summed: the overdrawn entry keeps the identity intact.
+func TestEarBudgetOverdrawn(t *testing.T) {
+	pd := mute.PipelineDelays{ADC: 1, DSP: 1, DAC: 1, Speaker: 1}
+	rep := earBudget(8000, 10, pd, 32) // 4 + 32 > 10
+	if got := rep.SpentSamples(); got != 10 {
+		t.Fatalf("overdrawn budget sums to %d, want 10", got)
+	}
+	found := false
+	for _, e := range rep.Entries {
+		if e.Stage == "overdrawn" && e.Samples < 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no negative overdrawn entry in an over-granted budget")
+	}
+}
+
+// TestTraceBlockStages runs the per-block recorder against a live (loopback,
+// idle) receiver and checks every pipeline stage shows up in the trace.
+func TestTraceBlockStages(t *testing.T) {
+	rx, err := mute.NewReceiver("127.0.0.1:0", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rx.Close()
+	lanc, err := mute.NewCanceller(mute.CancellerConfig{
+		NonCausalTaps: 4, CausalTaps: 8, Mu: 0.1, Normalized: true,
+		SecondaryPath: []float64{1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := mute.NewTrace()
+	traceBlock(tr, 80, rx, lanc, 0.5, 80)
+	want := map[string]bool{
+		mute.StageStream:    false,
+		mute.StageLookahead: false,
+		mute.StageLANC:      false,
+		mute.StageResidual:  false,
+	}
+	for _, ev := range tr.Events() {
+		if ev.T != 80 {
+			t.Errorf("event %s/%s at t=%d, want 80", ev.Stage, ev.Name, ev.T)
+		}
+		if _, ok := want[ev.Stage]; ok {
+			want[ev.Stage] = true
+		}
+	}
+	for stage, seen := range want {
+		if !seen {
+			t.Errorf("stage %s missing from block trace", stage)
+		}
+	}
+}

@@ -155,8 +155,8 @@ type LANC struct {
 	// floating-point drift (amortized O(1)).
 	fxPow    float64
 	xPow     float64
-	powAge   int // pushes since the last exact rescan
-	powEvery int // rescan cadence in samples
+	powAge   int     // pushes since the last exact rescan
+	powEvery int     // rescan cadence in samples
 	errVar   float64 // running residual variance for robust update clipping
 
 	// Loss-aware state (Config.LossAware). concealGuard counts the samples

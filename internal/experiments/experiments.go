@@ -15,6 +15,7 @@ import (
 	"mute/internal/audio"
 	"mute/internal/metrics"
 	"mute/internal/sim"
+	"mute/internal/telemetry"
 )
 
 // Series is one labeled curve or row group of a figure.
@@ -61,6 +62,18 @@ type Config struct {
 	// forces fully sequential execution. Results are bit-identical for any
 	// value because every run seeds its own generators (see parallelFor).
 	Workers int
+	// Telemetry, when non-nil, aggregates the sweep's pipeline counters.
+	// Each task writes to its own per-run registry and the parent merges
+	// them in task order, so the aggregate (timers aside, which carry wall
+	// clock) is deterministic for any Workers value — and enabling it
+	// never changes a figure's numbers (result neutrality, enforced by
+	// TestTelemetryResultNeutral).
+	Telemetry *telemetry.Registry
+	// Trace, when non-nil, receives every simulation run's per-stage
+	// events (see telemetry.Trace). Event timestamps ride the sample
+	// clock, but with Workers > 1 events from concurrent runs interleave
+	// in completion order — set Workers to 1 for a reproducible stream.
+	Trace *telemetry.Trace
 }
 
 // Defaults fills unset fields.
@@ -92,6 +105,7 @@ func runScheme(c Config, scheme sim.Scheme, gen func() audio.Generator, mutate f
 	p.Duration = c.Duration
 	p.UseFMLink = c.UseFMLink
 	p.Seed = c.Seed
+	p.Trace = c.Trace
 	if mutate != nil {
 		mutate(&p)
 	}

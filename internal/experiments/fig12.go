@@ -32,11 +32,15 @@ func Fig12(c Config) (*Figure, error) {
 	}
 	// The four schemes are independent simulations of the same scene; fan
 	// them out and assemble in spec order so output is identical to the
-	// sequential path.
+	// sequential path. Telemetry follows the same discipline: one child
+	// registry per scheme, merged in spec order afterwards.
 	outs := make([]Series, len(specs))
+	kids := telemetryChildren(c.Telemetry, len(specs))
 	err := parallelFor(c.Workers, len(specs), func(i int) error {
 		spec := specs[i]
-		r, err := runScheme(c, spec.scheme, gen, nil)
+		r, err := runScheme(c, spec.scheme, gen, func(p *sim.Params) {
+			p.Telemetry = childTelemetry(kids, i)
+		})
 		if err != nil {
 			return err
 		}
@@ -55,6 +59,7 @@ func Fig12(c Config) (*Figure, error) {
 	if err != nil {
 		return nil, err
 	}
+	mergeTelemetry(c.Telemetry, kids)
 	results := map[string]Series{}
 	for i, spec := range specs {
 		fig.Series = append(fig.Series, outs[i])

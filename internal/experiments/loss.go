@@ -6,6 +6,7 @@ import (
 	"mute/internal/dsp"
 	"mute/internal/sim"
 	"mute/internal/stream"
+	"mute/internal/telemetry"
 )
 
 // LossSweep measures cancellation against packet loss on the forwarded
@@ -52,6 +53,7 @@ func LossSweep(c Config) (*Figure, error) {
 	}
 
 	ys := make([]float64, len(variants)*len(rates))
+	kids := telemetryChildren(c.Telemetry, len(ys))
 	err := parallelFor(c.Workers, len(ys), func(i int) error {
 		v := variants[i/len(rates)]
 		ri := i % len(rates)
@@ -67,7 +69,7 @@ func LossSweep(c Config) (*Figure, error) {
 			Loss:      rates[ri],
 			MeanBurst: v.burst,
 		}
-		db, err := lossRun(c, link, v.fec, v.freeze, c.Seed+uint64(ri)*23)
+		db, err := lossRun(c, link, v.fec, v.freeze, c.Seed+uint64(ri)*23, childTelemetry(kids, i))
 		if err != nil {
 			return err
 		}
@@ -77,6 +79,7 @@ func LossSweep(c Config) (*Figure, error) {
 	if err != nil {
 		return nil, err
 	}
+	mergeTelemetry(c.Telemetry, kids)
 
 	fig := &Figure{
 		ID:     "loss",
@@ -124,7 +127,7 @@ func LossSweep(c Config) (*Figure, error) {
 // cancellation where cancellation is possible: it stays at the baseline
 // when the filter survived the burst, and collapses when naive adaptation
 // corrupted it.
-func lossRun(c Config, link stream.LossParams, fec, freeze bool, noiseSeed uint64) (float64, error) {
+func lossRun(c Config, link stream.LossParams, fec, freeze bool, noiseSeed uint64, reg *telemetry.Registry) (float64, error) {
 	const (
 		frameN = 40 // 5 ms frames at 8 kHz
 		prime  = 4  // playout buffer covers the FEC group and jitter
@@ -138,7 +141,7 @@ func lossRun(c Config, link stream.LossParams, fec, freeze bool, noiseSeed uint6
 	if fec {
 		lt.FECGroup = 4
 	}
-	recv, mask, _, err := sim.PacketizeReference(clean, lt)
+	recv, mask, stats, err := sim.PacketizeReference(clean, lt)
 	if err != nil {
 		return 0, err
 	}
@@ -182,5 +185,18 @@ func lossRun(c Config, link stream.LossParams, fec, freeze bool, noiseSeed uint6
 			priPow += d * d
 		}
 	}
-	return dsp.DB((resPow + dsp.EpsilonPower) / (priPow + dsp.EpsilonPower)), nil
+	db := dsp.DB((resPow + dsp.EpsilonPower) / (priPow + dsp.EpsilonPower))
+	if reg != nil {
+		// Observation only: the run above never branches on reg, so the
+		// returned dB is byte-identical with telemetry on or off.
+		reg.Counter("loss.runs").Inc()
+		reg.Counter("loss.samples").Add(int64(steps))
+		stats.Jitter.Publish(reg, "stream.")
+		stats.Link.Publish(reg, "link.")
+		reg.Counter("stream.fec_recovered").Add(int64(stats.FECRecovered))
+		reg.Gauge("lanc.tap_energy").Set(lanc.TapEnergy())
+		reg.Gauge("lanc.mu_eff").Set(lanc.EffectiveStep())
+		reg.Histogram("loss.cell_residual_db", telemetry.HistogramOpts{Lo: 1e-2, Ratio: 2, Buckets: 16}).Observe(-db)
+	}
+	return db, nil
 }

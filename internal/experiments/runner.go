@@ -4,6 +4,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"mute/internal/telemetry"
 )
 
 // DefaultWorkers returns the worker-pool size used when Config.Workers is
@@ -64,4 +66,39 @@ func parallelFor(workers, n int, fn func(i int) error) error {
 		}
 	}
 	return nil
+}
+
+// telemetryChildren allocates one per-task registry per task when the
+// parent is enabled (nil otherwise — tasks must tolerate a nil slice).
+// Pairing it with mergeTelemetry keeps the aggregate deterministic under
+// the worker pool: tasks never share a registry, and the merge happens in
+// task order after every task has finished.
+func telemetryChildren(parent *telemetry.Registry, n int) []*telemetry.Registry {
+	if parent == nil {
+		return nil
+	}
+	kids := make([]*telemetry.Registry, n)
+	for i := range kids {
+		kids[i] = telemetry.NewRegistry()
+	}
+	return kids
+}
+
+// mergeTelemetry folds per-task registries into the parent in task order.
+func mergeTelemetry(parent *telemetry.Registry, kids []*telemetry.Registry) {
+	if parent == nil {
+		return
+	}
+	for _, kid := range kids {
+		parent.Merge(kid)
+	}
+}
+
+// childTelemetry returns the i-th per-task registry, or nil when
+// telemetry is off.
+func childTelemetry(kids []*telemetry.Registry, i int) *telemetry.Registry {
+	if kids == nil {
+		return nil
+	}
+	return kids[i]
 }

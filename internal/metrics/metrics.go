@@ -6,12 +6,18 @@
 package metrics
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
 	"mute/internal/audio"
 	"mute/internal/dsp"
 )
+
+// ErrNonFinite reports that an input signal produced a non-finite power
+// (NaN or Inf) — e.g. a residual containing NaN samples. Metrics return it
+// instead of propagating NaN into scores.
+var ErrNonFinite = errors.New("metrics: non-finite signal power")
 
 // CancellationSpectrum compares the sound at the measurement microphone
 // with cancellation off and on, returning cancellation in dB per frequency
@@ -108,23 +114,30 @@ func NewResidualTimeline(e []float64, sampleRate float64, winSamples int) (*Resi
 
 // ConvergenceTime returns the first time at which the residual reaches
 // within marginDB of its final (median-of-last-quarter) level and stays
-// there, or -1 if it never settles.
+// there, or -1 if it never settles. NaN windows (e.g. from NaN residual
+// samples) can never satisfy the settle criterion: they are excluded from
+// the final-level median and veto any candidate window they follow, so a
+// timeline polluted with NaN reports -1 instead of a NaN-shaped answer.
 func (rt *ResidualTimeline) ConvergenceTime(marginDB float64) float64 {
 	n := len(rt.PowersDB)
 	if n == 0 {
 		return -1
 	}
-	// Final level: median of the last quarter.
-	tail := append([]float64(nil), rt.PowersDB[3*n/4:]...)
+	// Final level: median of the last quarter, NaN windows excluded.
+	tail := finiteOnly(rt.PowersDB[3*n/4:])
 	if len(tail) == 0 {
-		tail = rt.PowersDB
+		tail = finiteOnly(rt.PowersDB)
+	}
+	if len(tail) == 0 {
+		return -1 // every window is non-finite
 	}
 	final := median(tail)
 	for i := 0; i < n; i++ {
-		if rt.PowersDB[i] <= final+marginDB {
+		if rt.PowersDB[i] <= final+marginDB { // false for NaN windows
 			ok := true
 			for j := i; j < n; j++ {
-				if rt.PowersDB[j] > final+2*marginDB {
+				p := rt.PowersDB[j]
+				if math.IsNaN(p) || p > final+2*marginDB {
 					ok = false
 					break
 				}
@@ -135,6 +148,19 @@ func (rt *ResidualTimeline) ConvergenceTime(marginDB float64) float64 {
 		}
 	}
 	return -1
+}
+
+// finiteOnly copies x without its NaN entries (±Inf dB is kept: it is an
+// ordered value, unlike NaN, and a silent signal legitimately hits -Inf dB
+// before the epsilon floor).
+func finiteOnly(x []float64) []float64 {
+	out := make([]float64, 0, len(x))
+	for _, v := range x {
+		if !math.IsNaN(v) {
+			out = append(out, v)
+		}
+	}
+	return out
 }
 
 func median(x []float64) float64 {
@@ -212,6 +238,12 @@ func (l *Listener) Rate(residual, reference []float64, sampleRate float64) (floa
 	}
 	lr := AWeightedPower(pr)
 	lf := AWeightedPower(pf)
+	if math.IsNaN(lr) || math.IsInf(lr, 0) {
+		return 0, fmt.Errorf("%w: residual", ErrNonFinite)
+	}
+	if math.IsNaN(lf) || math.IsInf(lf, 0) {
+		return 0, fmt.Errorf("%w: reference", ErrNonFinite)
+	}
 	improveDB := -dsp.DB((lr + dsp.EpsilonPower) / (lf + dsp.EpsilonPower))
 	stars := 1 + (improveDB+l.bias)/l.slope
 	stars += l.rng.Range(-0.2, 0.2)

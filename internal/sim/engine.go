@@ -10,6 +10,7 @@ import (
 	"mute/internal/dsp"
 	"mute/internal/headphone"
 	"mute/internal/rf"
+	"mute/internal/telemetry"
 )
 
 // Scheme selects which cancellation system is simulated.
@@ -122,6 +123,19 @@ type Params struct {
 	EarMicNoiseRMS float64
 	// Seed drives all stochastic components of the run.
 	Seed uint64
+
+	// Telemetry, when non-nil, receives the run's counters, gauges,
+	// histograms, and wall-clock stage timers. Instrumentation is purely
+	// observational: enabling it changes no output sample of the run
+	// (enforced by internal/experiments' result-neutrality tests).
+	Telemetry *telemetry.Registry
+	// Trace, when non-nil, records per-stage events on the sample clock —
+	// capture/link block levels, LANC adaptation state, per-block residual,
+	// and the lookahead budget entries — for JSONL export and the
+	// golden-trace regression suite.
+	Trace *telemetry.Trace
+	// TraceBlock is the trace cadence in samples (0 = 512).
+	TraceBlock int
 }
 
 // DefaultParams returns the standard evaluation configuration for a scene.
@@ -169,6 +183,10 @@ type Result struct {
 	// Transport carries the packetized-link counters when
 	// Params.LossTransport was set (nil otherwise).
 	Transport *LossTransportStats
+	// BudgetSpend itemizes where the lookahead budget went, stage by
+	// stage (LANC schemes only; nil for the Bose schemes, which have no
+	// wireless lookahead to spend).
+	BudgetSpend *telemetry.BudgetReport
 	// SampleRate echoes the scene rate.
 	SampleRate float64
 	// Elapsed is the wall-clock time the run took, for throughput metrics.
@@ -209,8 +227,13 @@ func Run(p Params, scheme Scheme) (*Result, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("sim: duration too short")
 	}
+	traceBlock := p.TraceBlock
+	if traceBlock <= 0 {
+		traceBlock = 512
+	}
 
 	// --- Acoustic channels -------------------------------------------------
+	stageStart := time.Now()
 	var (
 		refStreams [][]float64 // per-source contribution at the relay mic
 		earStreams [][]float64 // per-source contribution at the ear (open)
@@ -233,8 +256,12 @@ func Run(p Params, scheme Scheme) (*Result, error) {
 	}
 	ref := sumStreams(refStreams, n)
 	open := sumStreams(earStreams, n)
+	if p.Telemetry != nil {
+		p.Telemetry.Timer("sim.stage.acoustics").Since(stageStart)
+	}
 
 	// --- Relay and wireless link -------------------------------------------
+	stageStart = time.Now()
 	relay, err := rf.NewRelay(p.Relay, fmParamsFor(p, fs))
 	if err != nil {
 		return nil, err
@@ -256,6 +283,9 @@ func Run(p Params, scheme Scheme) (*Result, error) {
 		for i, v := range forwarded {
 			forwarded[i] = dl.Process(v)
 		}
+	}
+	if p.Telemetry != nil {
+		p.Telemetry.Timer("sim.stage.link").Since(stageStart)
 	}
 
 	// --- Passive isolation --------------------------------------------------
@@ -315,6 +345,7 @@ func Run(p Params, scheme Scheme) (*Result, error) {
 	}
 
 	// --- Active cancellation loop -------------------------------------------
+	stageStart = time.Now()
 	earNoise := audio.NewRNG(p.Seed + 23)
 	secCh := dsp.NewStreamConvolver(secIR)
 	on := make([]float64, n)
@@ -331,7 +362,13 @@ func Run(p Params, scheme Scheme) (*Result, error) {
 		var mask []bool
 		prime := 0
 		if p.LossTransport != nil {
-			recv, m, tstats, err := PacketizeReference(forwarded, *p.LossTransport)
+			lt := *p.LossTransport
+			if lt.Trace == nil {
+				// Inherit the run's trace so the stream/lookahead stages
+				// land in the same timeline as the canceller's.
+				lt.Trace = p.Trace
+			}
+			recv, m, tstats, err := PacketizeReference(forwarded, lt)
 			if err != nil {
 				return nil, err
 			}
@@ -359,6 +396,8 @@ func Run(p Params, scheme Scheme) (*Result, error) {
 		}
 		res.Budget = budget
 		res.UsedNonCausalTaps = nTaps
+		res.BudgetSpend = budgetSpend(fs, res.LookaheadSamples, prime, p.ExtraReferenceDelay, p.Pipeline, nTaps)
+		res.BudgetSpend.Record(p.Trace)
 		cfg := core.Config{
 			NonCausalTaps:    nTaps,
 			CausalTaps:       p.CausalTaps,
@@ -383,6 +422,9 @@ func Run(p Params, scheme Scheme) (*Result, error) {
 		}
 		e := 0.0
 		for t := 0; t < n; t++ {
+			if p.Trace != nil && t%traceBlock == 0 {
+				traceLANC(p.Trace, int64(t), lanc)
+			}
 			var a float64
 			if mask != nil {
 				a = lanc.StepMasked(forwarded[t], e, mask[t])
@@ -417,8 +459,97 @@ func Run(p Params, scheme Scheme) (*Result, error) {
 	}
 	res.On = on
 	res.Residual = residual
+	if p.Telemetry != nil {
+		p.Telemetry.Timer("sim.stage.cancel").Since(stageStart)
+		instrumentRun(p.Telemetry, res, n)
+	}
+	if p.Trace != nil {
+		// Post-loop block levels: reading the pre-rendered streams after
+		// the fact keeps the cancellation loop itself untouched.
+		traceBlockLevels(p.Trace, telemetry.StageCapture, "relay_mic", ref, traceBlock)
+		traceBlockLevels(p.Trace, telemetry.StageLink, "forwarded", forwarded, traceBlock)
+		traceBlockLevels(p.Trace, telemetry.StageResidual, "ear", residual, traceBlock)
+	}
 	res.Elapsed = time.Since(start)
 	return res, nil
+}
+
+// budgetSpend itemizes a LANC run's lookahead: playout buffering, the
+// deliberate delayed-line injection, the Equation 3 pipeline, the
+// non-causal taps, and the slack left over (negative "overdrawn" when the
+// deadline is missed), so the entries always sum to the lookahead.
+func budgetSpend(fs float64, lookahead, prime, extraDelay int, pipe core.PipelineDelays, nTaps int) *telemetry.BudgetReport {
+	b := telemetry.NewBudgetReport(fs, lookahead)
+	b.Add("transport.prime", prime)
+	b.Add("reference.extra_delay", extraDelay)
+	b.Add("pipeline.adc", pipe.ADC)
+	b.Add("pipeline.dsp", pipe.DSP)
+	b.Add("pipeline.dac", pipe.DAC)
+	b.Add("pipeline.speaker", pipe.Speaker)
+	b.Add("lanc.noncausal_taps", nTaps)
+	rest := lookahead - b.SpentSamples()
+	if rest >= 0 {
+		b.Add("unused", rest)
+	} else {
+		b.Add("overdrawn", rest)
+	}
+	return b
+}
+
+// traceLANC records the adaptive filter's observable state at a block
+// boundary: effective step size, tap energy, and the loss-aware posture.
+// All reads — the run's samples are unchanged.
+func traceLANC(tr *telemetry.Trace, t int64, lanc *core.LANC) {
+	gain, frozen, rampLeft := lanc.LossState()
+	fz := 0.0
+	if frozen {
+		fz = 1
+	}
+	tr.Record(t, telemetry.StageLANC, "step", map[string]float64{
+		"mu_eff":     lanc.EffectiveStep(),
+		"tap_energy": lanc.TapEnergy(),
+		"gain":       gain,
+		"frozen":     fz,
+		"ramp_left":  float64(rampLeft),
+	})
+}
+
+// traceBlockLevels records one stage's per-block signal level (dB relative
+// to full scale) from a pre-rendered sample stream.
+func traceBlockLevels(tr *telemetry.Trace, stage, name string, x []float64, block int) {
+	for start := 0; start < len(x); start += block {
+		end := min(start+block, len(x))
+		p := dsp.Power(x[start:end])
+		tr.Record(int64(start), stage, name, map[string]float64{
+			"power_db": dsp.DB(p + dsp.EpsilonPower),
+		})
+	}
+}
+
+// instrumentRun publishes a finished run's deterministic series: sample
+// counts, budget gauges, the per-block residual-power histogram, and the
+// transport counters as first-class series.
+func instrumentRun(reg *telemetry.Registry, r *Result, n int) {
+	reg.Counter("sim.runs").Inc()
+	reg.Counter("sim.samples").Add(int64(n))
+	reg.Gauge("sim.lookahead_samples").Set(float64(r.LookaheadSamples))
+	reg.Gauge("sim.noncausal_taps").Set(float64(r.UsedNonCausalTaps))
+	h := reg.Histogram("sim.residual_block_power", telemetry.HistogramOpts{Lo: 1e-12, Ratio: 10, Buckets: 14})
+	const block = 512
+	for start := 0; start < len(r.Residual); start += block {
+		end := min(start+block, len(r.Residual))
+		h.Observe(dsp.Power(r.Residual[start:end]))
+	}
+	if r.Transport != nil {
+		r.Transport.Jitter.Publish(reg, "stream.")
+		r.Transport.Link.Publish(reg, "link.")
+		reg.Counter("stream.fec_recovered").Add(int64(r.Transport.FECRecovered))
+	}
+	if r.BudgetSpend != nil {
+		for _, e := range r.BudgetSpend.Entries {
+			reg.Gauge("budget." + e.Stage + "_samples").Set(float64(e.Samples))
+		}
+	}
 }
 
 // fmParamsFor adapts the FM parameters to the scene sample rate.

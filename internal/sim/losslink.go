@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"mute/internal/stream"
+	"mute/internal/telemetry"
 )
 
 // LossTransport routes the forwarded reference through the packetized
@@ -36,6 +37,13 @@ type LossTransport struct {
 	LossAware bool
 	// RecoveryRamp overrides the canceller's post-loss ramp (0 = default).
 	RecoveryRamp int
+	// Trace, when non-nil, receives per-playout-window stream events
+	// (cumulative jitter/link counters) and lookahead-buffer occupancy on
+	// the sample clock. sim.Run propagates its own trace here when the
+	// caller left it nil.
+	Trace *telemetry.Trace
+	// TraceEveryFrames is the trace cadence in playout windows (0 = 16).
+	TraceEveryFrames int
 }
 
 // withDefaults fills zero fields and validates.
@@ -128,9 +136,16 @@ func PacketizeReference(ref []float64, lt LossTransport) ([]float64, []bool, Los
 	}
 	recv := make([]float64, padded)
 	mask := make([]bool, padded)
+	traceEvery := lt.TraceEveryFrames
+	if traceEvery <= 0 {
+		traceEvery = 16
+	}
 	pop := func(k int) {
 		start := k * frameN
 		jb.PopMask(recv[start:start+frameN], mask[start:start+frameN])
+		if lt.Trace != nil && k%traceEvery == 0 {
+			tracePlayout(lt.Trace, int64(start), jb, &stats, frameN)
+		}
 	}
 
 	seq := uint32(0)
@@ -166,4 +181,27 @@ func PacketizeReference(ref []float64, lt LossTransport) ([]float64, []bool, Los
 	stats.Jitter = jb.Stats()
 	stats.Link = link.Stats()
 	return recv[:len(ref)], mask[:len(ref)], stats, nil
+}
+
+// tracePlayout records the transport's view at one playout window: the
+// cumulative jitter-buffer counters (frames late/dropped/concealed as
+// first-class series) and the lookahead-buffer occupancy — how many
+// frames of forwarded future are sitting between the link and the
+// canceller at this instant.
+func tracePlayout(tr *telemetry.Trace, t int64, jb *stream.JitterBuffer, stats *LossTransportStats, frameN int) {
+	st := jb.Stats()
+	tr.Record(t, telemetry.StageStream, "jitter", map[string]float64{
+		"frames_received":   float64(st.FramesReceived),
+		"frames_late":       float64(st.FramesLate),
+		"frames_dropped":    float64(st.FramesDropped),
+		"frames_duplicate":  float64(st.FramesDuplicate),
+		"samples_concealed": float64(st.SamplesConcealed),
+		"samples_delivered": float64(st.SamplesDelivered),
+		"fec_recovered":     float64(stats.FECRecovered),
+	})
+	buffered := jb.Buffered()
+	tr.Record(t, telemetry.StageLookahead, "occupancy", map[string]float64{
+		"frames":  float64(buffered),
+		"samples": float64(buffered * frameN),
+	})
 }

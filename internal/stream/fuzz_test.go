@@ -1,0 +1,203 @@
+package stream
+
+import (
+	"math"
+	"testing"
+)
+
+// canonical returns the reference sample value for capture index c. Every
+// fuzz-pushed frame carries canonical values, so any sample the buffer
+// delivers as "real" must equal canonical(its capture index) — data
+// integrity across reordering, duplication, overlap, and eviction.
+func canonical(c uint64) float64 {
+	return float64(c%97)/97 - 0.5
+}
+
+// FuzzJitterBufferPopMask drives the jitter buffer with an arbitrary
+// push/pop/anchor op stream decoded from the fuzz input and checks the
+// buffer's invariants after every operation: delivered samples carry the
+// canonical value for their capture index, concealed samples are exactly
+// the zero-masked ones, the delivered+concealed counters advance in step
+// with the popped window, and the buffer never holds more than its depth.
+func FuzzJitterBufferPopMask(f *testing.F) {
+	f.Add([]byte{0, 0, 8, 1, 16, 0, 8, 8, 1, 16})
+	f.Add([]byte{2, 4, 0, 0, 4, 1, 4, 1, 4, 1, 4})
+	f.Add([]byte("0123456789abcdef"))
+	f.Add([]byte{1, 255, 0, 250, 3, 1, 8})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const depth = 4
+		jb, err := NewJitterBuffer(depth)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dst := make([]float64, 64)
+		mask := make([]bool, 64)
+		// Mirror of the buffer's playout clock, maintained from the same
+		// anchoring rules, so the test knows each popped sample's capture
+		// index without reaching into the buffer.
+		var clock uint64
+		started := false
+		pos := 0
+		next := func() byte {
+			if pos >= len(data) {
+				return 0
+			}
+			b := data[pos]
+			pos++
+			return b
+		}
+		for ops := 0; pos < len(data) && ops < 256; ops++ {
+			switch next() % 3 {
+			case 0: // push a canonical frame
+				ts := uint64(next()) * 4
+				n := int(next())%32 + 1
+				samples := make([]float64, n)
+				for i := range samples {
+					samples[i] = canonical(ts + uint64(i))
+				}
+				jb.Push(&Frame{Timestamp: ts, Samples: samples})
+				if !started {
+					clock, started = ts, true
+				}
+			case 1: // pop a window
+				n := int(next())%len(dst) + 1
+				before := jb.Stats()
+				real := jb.PopMask(dst[:n], mask[:n])
+				after := jb.Stats()
+				trueCount := 0
+				for i := 0; i < n; i++ {
+					if mask[i] {
+						trueCount++
+						want := canonical(clock + uint64(i))
+						if dst[i] != want {
+							t.Fatalf("real sample %d = %v, want canonical %v", i, dst[i], want)
+						}
+					} else if dst[i] != 0 {
+						t.Fatalf("concealed sample %d = %v, want 0", i, dst[i])
+					}
+				}
+				if real != trueCount {
+					t.Fatalf("PopMask returned %d, mask has %d true entries", real, trueCount)
+				}
+				dDeliv := after.SamplesDelivered - before.SamplesDelivered
+				dConc := after.SamplesConcealed - before.SamplesConcealed
+				if started {
+					if dDeliv+dConc != uint64(n) {
+						t.Fatalf("counters advanced by %d for a %d-sample pop", dDeliv+dConc, n)
+					}
+					clock += uint64(n)
+				} else if real != 0 || dDeliv+dConc != 0 {
+					t.Fatal("pop before the clock started delivered samples")
+				}
+				if dDeliv != uint64(real) {
+					t.Fatalf("delivered counter moved %d, PopMask returned %d", dDeliv, real)
+				}
+			case 2: // anchor (no-op once started)
+				ts := uint64(next())
+				jb.Anchor(ts)
+				if !started {
+					clock, started = ts, true
+				}
+			}
+			if jb.Buffered() > depth {
+				t.Fatalf("buffer holds %d frames, depth is %d", jb.Buffered(), depth)
+			}
+		}
+	})
+}
+
+// FuzzFECDecoder exercises both halves of the FEC decoder. The structured
+// half round-trips a fuzz-chosen group through encoder and decoder with one
+// frame dropped and requires exact-within-rounding reconstruction at the
+// right timestamp. The adversarial half feeds raw frames decoded straight
+// from fuzz bytes — inconsistent group sizes, overlapping timestamps,
+// parity storms — and requires the decoder to stay panic-free and within
+// its memory horizon.
+func FuzzFECDecoder(f *testing.F) {
+	f.Add([]byte{4, 8, 2, 1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add([]byte{2, 1, 0, 200, 100})
+	f.Add([]byte("fecfecfecfecfec"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 3 {
+			return
+		}
+		k := int(data[0])%7 + 2    // group size 2..8
+		size := int(data[1])%8 + 1 // samples per frame 1..8
+		drop := int(data[2]) % k
+		payload := data[3:]
+		sampleAt := func(fr, i int) float64 {
+			idx := fr*size + i
+			b := byte(idx)
+			if idx < len(payload) {
+				b = payload[idx]
+			}
+			// Keep |v| ≤ 1/k so the reconstruction clamp never engages.
+			return (float64(b)/255 - 0.5) / float64(k)
+		}
+
+		enc, err := NewFECEncoder(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec := NewFECDecoder(4 * k)
+		var parity *Frame
+		frames := make([]*Frame, k)
+		for fr := 0; fr < k; fr++ {
+			samples := make([]float64, size)
+			for i := range samples {
+				samples[i] = sampleAt(fr, i)
+			}
+			frames[fr] = &Frame{Timestamp: uint64(fr * size), Samples: samples}
+			if p := enc.Add(frames[fr]); p != nil {
+				parity = p
+			}
+		}
+		if parity == nil {
+			t.Fatalf("no parity after %d frames of group %d", k, k)
+		}
+		for fr := 0; fr < k; fr++ {
+			if fr == drop {
+				continue
+			}
+			if out := dec.Add(frames[fr]); out != frames[fr] {
+				t.Fatal("data frame not returned as-is")
+			}
+		}
+		rec := dec.Add(parity)
+		if rec == nil {
+			t.Fatal("single missing frame not reconstructed")
+		}
+		if rec.Timestamp != frames[drop].Timestamp {
+			t.Fatalf("reconstructed ts %d, want %d", rec.Timestamp, frames[drop].Timestamp)
+		}
+		for i := range rec.Samples {
+			want := frames[drop].Samples[i]
+			if math.Abs(rec.Samples[i]-want) > 1e-9 {
+				t.Fatalf("reconstructed sample %d = %v, want %v", i, rec.Samples[i], want)
+			}
+		}
+		// A duplicate parity must not re-emit the reconstruction.
+		if again := dec.Add(parity); again != nil {
+			t.Fatal("duplicate parity re-emitted a frame")
+		}
+
+		// Adversarial half: raw frames straight from the fuzz bytes.
+		adv := NewFECDecoder(8)
+		for pos := 0; pos+2 < len(payload); pos += 3 {
+			n := int(payload[pos+1])%4 + 1
+			samples := make([]float64, n)
+			for i := range samples {
+				samples[i] = float64(payload[pos+2]) / 255
+			}
+			adv.Add(&Frame{
+				Timestamp: uint64(payload[pos]) * 2,
+				Parity:    payload[pos]%3 == 0,
+				GroupSize: payload[pos+1],
+				Samples:   samples,
+			})
+			if len(adv.recent) > 8 {
+				t.Fatalf("decoder memory %d frames, horizon 8", len(adv.recent))
+			}
+		}
+	})
+}

@@ -1,0 +1,32 @@
+package stream
+
+import "mute/internal/telemetry"
+
+// Publish exposes the jitter-buffer counters as first-class registry
+// series under prefix (e.g. "stream."). The stats are cumulative, so call
+// it once per run on a per-run registry; experiment runners then merge
+// those registries in task order.
+func (s JitterStats) Publish(reg *telemetry.Registry, prefix string) {
+	if reg == nil {
+		return
+	}
+	reg.Counter(prefix + "frames_received").Add(int64(s.FramesReceived))
+	reg.Counter(prefix + "frames_duplicate").Add(int64(s.FramesDuplicate))
+	reg.Counter(prefix + "frames_late").Add(int64(s.FramesLate))
+	reg.Counter(prefix + "frames_dropped").Add(int64(s.FramesDropped))
+	reg.Counter(prefix + "samples_concealed").Add(int64(s.SamplesConcealed))
+	reg.Counter(prefix + "samples_delivered").Add(int64(s.SamplesDelivered))
+}
+
+// Publish exposes the link impairment counters as registry series under
+// prefix (e.g. "link."). Same once-per-run contract as JitterStats.Publish.
+func (s LinkStats) Publish(reg *telemetry.Registry, prefix string) {
+	if reg == nil {
+		return
+	}
+	reg.Counter(prefix + "frames_offered").Add(int64(s.Offered))
+	reg.Counter(prefix + "frames_dropped").Add(int64(s.Dropped))
+	reg.Counter(prefix + "frames_duplicated").Add(int64(s.Duplicated))
+	reg.Counter(prefix + "frames_delayed").Add(int64(s.Delayed))
+	reg.Counter(prefix + "frames_delivered").Add(int64(s.Delivered))
+}

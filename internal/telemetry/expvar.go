@@ -1,0 +1,46 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"expvar"
+	"sync"
+)
+
+// expvarHandle adapts a swappable Registry to the expvar.Var interface.
+type expvarHandle struct {
+	mu  sync.Mutex
+	reg *Registry
+}
+
+func newExpvarHandle(r *Registry) *expvarHandle { return &expvarHandle{reg: r} }
+
+// String renders the current snapshot as JSON (the expvar contract).
+func (h *expvarHandle) String() string {
+	h.mu.Lock()
+	reg := h.reg
+	h.mu.Unlock()
+	if reg == nil {
+		return "{}"
+	}
+	b, err := json.Marshal(reg.Snapshot())
+	if err != nil {
+		return "{}"
+	}
+	return string(b)
+}
+
+// PublishExpvar exposes live registry snapshots on the process's expvar
+// page (GET /debug/vars) under the given name. Re-publishing an existing
+// name replaces the registry being snapshotted rather than panicking, so
+// repeated runs inside one process stay observable.
+func PublishExpvar(name string, r *Registry) {
+	if v := expvar.Get(name); v != nil {
+		if h, ok := v.(*expvarHandle); ok {
+			h.mu.Lock()
+			h.reg = r
+			h.mu.Unlock()
+			return
+		}
+	}
+	expvar.Publish(name, newExpvarHandle(r))
+}

@@ -1,0 +1,154 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sync"
+)
+
+// Canonical pipeline stage identifiers, in signal order. Trace events tag
+// one of these so a reader can follow a sample block from the relay
+// microphone to the residual at the ear.
+const (
+	// StageCapture is the relay microphone capture (pre-link reference).
+	StageCapture = "capture"
+	// StageLink is the wireless forwarding leg (FM chain or ideal wire).
+	StageLink = "link"
+	// StageStream is the packetized transport: framing, FEC, jitter buffer.
+	StageStream = "stream"
+	// StageLookahead is the lookahead buffer state at the canceller input.
+	StageLookahead = "lookahead"
+	// StageLANC is the adaptive filter step (step size, tap energy,
+	// freeze/ramp state).
+	StageLANC = "lanc"
+	// StageResidual is the error-microphone residual.
+	StageResidual = "residual"
+	// StageBudget tags the per-stage lookahead budget entries (see
+	// BudgetReport.Record); their samples sum to the run's lookahead.
+	StageBudget = "budget"
+)
+
+// Event is one trace record: a pipeline stage observed at a sample-clock
+// timestamp. Timestamps are sample indices, not wall-clock times, so a
+// trace of a deterministic run is itself deterministic — the property the
+// golden-trace regression suite relies on.
+type Event struct {
+	// T is the sample-clock timestamp (index of the first sample of the
+	// block the event describes).
+	T int64 `json:"t"`
+	// Stage is one of the Stage* constants.
+	Stage string `json:"stage"`
+	// Name distinguishes sub-series within a stage (e.g. the budget
+	// entry's stage name, or a per-source capture channel).
+	Name string `json:"name,omitempty"`
+	// Values carries the measurements. encoding/json sorts the keys, so
+	// the JSONL form is deterministic too.
+	Values map[string]float64 `json:"values,omitempty"`
+}
+
+// Trace records pipeline events in arrival order. It is safe for
+// concurrent recorders (each simulation run owns one goroutine, but the
+// HTTP snapshot endpoint may read concurrently).
+type Trace struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// NewTrace creates an empty trace recorder.
+func NewTrace() *Trace { return &Trace{} }
+
+// Record appends one event. Non-finite values are clamped (NaN → 0,
+// ±Inf → ±MaxFloat64) so the trace always serializes to valid JSON.
+func (tr *Trace) Record(t int64, stage, name string, values map[string]float64) {
+	for k, v := range values {
+		if math.IsNaN(v) {
+			values[k] = 0
+		} else if math.IsInf(v, 1) {
+			values[k] = math.MaxFloat64
+		} else if math.IsInf(v, -1) {
+			values[k] = -math.MaxFloat64
+		}
+	}
+	tr.mu.Lock()
+	tr.events = append(tr.events, Event{T: t, Stage: stage, Name: name, Values: values})
+	tr.mu.Unlock()
+}
+
+// Len returns the number of recorded events.
+func (tr *Trace) Len() int {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	return len(tr.events)
+}
+
+// Events returns a copy of the recorded events in arrival order.
+func (tr *Trace) Events() []Event {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	out := make([]Event, len(tr.events))
+	copy(out, tr.events)
+	return out
+}
+
+// WriteJSONL writes the trace as one JSON object per line.
+func (tr *Trace) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, ev := range tr.Events() {
+		if err := enc.Encode(ev); err != nil {
+			return fmt.Errorf("telemetry: encode trace event: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteFile writes the trace as a JSONL file at path.
+func (tr *Trace) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("telemetry: create trace file: %w", err)
+	}
+	if err := tr.WriteJSONL(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadJSONL parses a JSONL trace (blank lines are skipped).
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	var out []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		b := sc.Bytes()
+		if len(b) == 0 {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal(b, &ev); err != nil {
+			return nil, fmt.Errorf("telemetry: trace line %d: %w", line, err)
+		}
+		out = append(out, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("telemetry: read trace: %w", err)
+	}
+	return out, nil
+}
+
+// ReadFile parses the JSONL trace file at path.
+func ReadFile(path string) ([]Event, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: open trace file: %w", err)
+	}
+	defer f.Close()
+	return ReadJSONL(f)
+}

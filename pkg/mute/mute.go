@@ -31,6 +31,7 @@ import (
 	"mute/internal/relaysel"
 	"mute/internal/sim"
 	"mute/internal/stream"
+	"mute/internal/telemetry"
 )
 
 // Geometry and scenario types.
@@ -343,3 +344,60 @@ type LossTransportStats = sim.LossTransportStats
 func PacketizeReference(ref []float64, lt LossTransport) ([]float64, []bool, LossTransportStats, error) {
 	return sim.PacketizeReference(ref, lt)
 }
+
+// --- Observability ------------------------------------------------------------
+
+// Pipeline observability (see OBSERVABILITY.md): a Telemetry registry
+// aggregates counters/gauges/histograms across a run or sweep, a Trace
+// records per-stage events on the sample clock, and a BudgetReport breaks
+// the lookahead budget down stage by stage. Attaching either to a run is
+// result-neutral — the pipeline only reports state into them and never
+// branches on them.
+type (
+	// Telemetry is a concurrency-safe metrics registry. Set
+	// Params.Telemetry (or experiments.Config.Telemetry) to aggregate a
+	// run's pipeline counters; read it back with Snapshot.
+	Telemetry = telemetry.Registry
+	// TelemetrySnapshot is a point-in-time copy of a registry's metrics.
+	TelemetrySnapshot = telemetry.Snapshot
+	// Trace is an in-memory per-stage event recorder. Set Params.Trace to
+	// capture capture/link/stream/lookahead/lanc/residual events keyed by
+	// sample time; serialize with its WriteFile/WriteJSONL methods.
+	Trace = telemetry.Trace
+	// TraceEvent is one recorded stage event.
+	TraceEvent = telemetry.Event
+	// BudgetReport itemizes lookahead spend (ms per stage); Result.BudgetSpend
+	// carries one for every traced simulation run.
+	BudgetReport = telemetry.BudgetReport
+	// HistogramOpts configures a registry histogram's log-spaced buckets.
+	HistogramOpts = telemetry.HistogramOpts
+)
+
+// Trace stage labels, in pipeline order.
+const (
+	StageCapture   = telemetry.StageCapture
+	StageLink      = telemetry.StageLink
+	StageStream    = telemetry.StageStream
+	StageLookahead = telemetry.StageLookahead
+	StageLANC      = telemetry.StageLANC
+	StageResidual  = telemetry.StageResidual
+	StageBudget    = telemetry.StageBudget
+)
+
+// NewTelemetry creates an empty metrics registry.
+func NewTelemetry() *Telemetry { return telemetry.NewRegistry() }
+
+// NewTrace creates an empty stage-event trace.
+func NewTrace() *Trace { return telemetry.NewTrace() }
+
+// NewBudgetReport starts a lookahead budget breakdown for a deployment.
+func NewBudgetReport(sampleRate float64, lookaheadSamples int) *BudgetReport {
+	return telemetry.NewBudgetReport(sampleRate, lookaheadSamples)
+}
+
+// PublishTelemetry exposes a registry as an expvar variable, so an HTTP
+// debug endpoint (/debug/vars) serves live snapshots.
+func PublishTelemetry(name string, r *Telemetry) { telemetry.PublishExpvar(name, r) }
+
+// ReadTrace loads a JSONL trace written by Trace.WriteFile.
+func ReadTrace(path string) ([]TraceEvent, error) { return telemetry.ReadFile(path) }
