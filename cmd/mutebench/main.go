@@ -15,7 +15,9 @@
 // lookahead, ablation-taps, ablation-fmsnr, ablation-nlms, and the
 // beyond-the-paper extensions variants, mobility, contention, tracker,
 // multisource, loss (cancellation vs packet loss on the forwarded
-// reference, with FEC and concealment-freeze policies).
+// reference, with FEC and concealment-freeze policies), and outage
+// (cancellation vs scheduled relay outage duration, comparing naive,
+// freeze, supervised degradation-ladder, and two-relay failover policies).
 package main
 
 import (
@@ -53,7 +55,7 @@ func main() {
 	flag.Parse()
 
 	if *list {
-		fmt.Println("fig12 fig13 fig14 fig15 fig16 fig17 fig18 fig19 lookahead ablation-taps ablation-fmsnr ablation-nlms variants mobility contention tracker multisource loss all")
+		fmt.Println("fig12 fig13 fig14 fig15 fig16 fig17 fig18 fig19 lookahead ablation-taps ablation-fmsnr ablation-nlms variants mobility contention tracker multisource loss outage all")
 		return
 	}
 	if *cpuProfile != "" {

@@ -15,6 +15,13 @@
 // gap samples sit in the gradient window and ramps back afterwards, so a
 // lossy link (real, or injected with muterelay's -loss flags) degrades
 // cancellation toward the passive floor instead of corrupting the filter.
+//
+// Supervised mode (-supervise) adds the relay-outage degradation ladder:
+// a link-health estimator demotes the canceller to a shrunken lookahead
+// window, then to a local causal fallback (warm-started from LANC's
+// causal taps), then to passthrough as the link dies — and probes its way
+// back up once frames flow again. Pair with muterelay's
+// -outage-at/-outage-dur flags to watch a scripted relay reboot.
 package main
 
 import (
@@ -37,6 +44,7 @@ func main() {
 		lookaheadMs = flag.Float64("lookahead-ms", 8, "simulated acoustic lookahead")
 		frame       = flag.Int("frame", 80, "samples per processing block")
 		lossAware   = flag.Bool("loss-aware", true, "freeze adaptation over concealed (lost) samples")
+		supervise   = flag.Bool("supervise", false, "run the degradation ladder: demote to a local causal fallback (and recover) as relay link health changes")
 		traceOut    = flag.String("trace-out", "", "write a per-stage JSONL trace to this file")
 		debugAddr   = flag.String("debug-addr", "", "serve expvar (/debug/vars) and pprof on this address")
 	)
@@ -79,7 +87,6 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-
 	// Observability: the budget report shows where the configured lookahead
 	// goes (its entries sum to `lookahead` by construction); the optional
 	// trace records per-block pipeline state on the sample clock; the
@@ -91,6 +98,19 @@ func main() {
 	if *traceOut != "" {
 		tr = mute.NewTrace()
 		report.Record(tr)
+	}
+	var sup *mute.Supervisor
+	if *supervise {
+		fb, err := mute.NewLocalCanceller(mute.DefaultLocalCancellerConfig(fs, secPath))
+		if err != nil {
+			fatal(err)
+		}
+		scfg := mute.DefaultSupervisorConfig()
+		scfg.Trace = tr // nil is fine: transitions then go unrecorded
+		sup, err = mute.NewSupervisor(scfg, lanc, fb)
+		if err != nil {
+			fatal(err)
+		}
 	}
 	reg := mute.NewTelemetry()
 	if *debugAddr != "" {
@@ -123,13 +143,18 @@ func main() {
 		rx.PopMask(block, mask)
 		var blockRes float64
 		for i, x := range block {
-			lanc.Adapt(e)
-			lanc.PushMasked(x, mask[i])
-			a := lanc.AntiNoise()
 			// The acoustic wavefront for this instant left the source
 			// `lookahead` samples ago; reconstruct it from the delayed
 			// reference and cancel it.
 			d := earChannel.Process(acousticDelay.Process(x))
+			var a float64
+			if sup != nil {
+				a = sup.Step(x, d, e, mask[i])
+			} else {
+				lanc.Adapt(e)
+				lanc.PushMasked(x, mask[i])
+				a = lanc.AntiNoise()
+			}
 			e = d + secChannel.Process(a)
 			noisePow += d * d
 			resPow += e * e
@@ -138,6 +163,9 @@ func main() {
 		}
 		if tr != nil {
 			traceBlock(tr, int64(samples), rx, lanc, blockRes, *frame)
+			if sup != nil {
+				sup.TraceState(tr, int64(samples))
+			}
 		}
 		reg.Counter("ear.samples").Add(int64(*frame))
 		reg.Gauge("ear.tap_energy").Set(lanc.TapEnergy())
@@ -154,6 +182,17 @@ func main() {
 	}
 	fmt.Printf("muteear: %d samples, %d frames received (%d late, %d dropped), %d samples concealed, %d frames FEC-recovered\n",
 		samples, st.FramesReceived, st.FramesLate, st.FramesDropped, st.SamplesConcealed, rx.Recovered())
+	if sup != nil {
+		rep := sup.Report()
+		fmt.Printf("muteear: supervisor ended in %s after %d transitions (%d probes, %d warm starts)\n",
+			rep.FinalState, len(rep.Transitions), rep.Probes, rep.WarmStarts)
+		for rung := mute.StateLANC; rung <= mute.StatePassthrough; rung++ {
+			if rep.TimeInState[rung] > 0 {
+				fmt.Printf("muteear:   %-11s %6.1f%%\n", rung.String(),
+					100*float64(rep.TimeInState[rung])/float64(samples))
+			}
+		}
+	}
 	if noisePow > 0 && resPow > 0 {
 		fmt.Printf("muteear: cancellation %.1f dB (lookahead %d samples, N=%d non-causal taps)\n",
 			dsp.DB(resPow/noisePow), lookahead, budget.UsableTaps)

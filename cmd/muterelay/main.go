@@ -16,6 +16,13 @@
 // bad network:
 //
 //	muterelay -dest 127.0.0.1:9950 -fec 4 -loss 0.1 -burst 4
+//
+// The -outage-at/-outage-dur flags script a relay reboot: every frame
+// offered during the window is dropped, which a muteear running with
+// -supervise answers by demoting to its local causal fallback and
+// recovering after the link returns:
+//
+//	muterelay -dest 127.0.0.1:9950 -duration 10 -outage-at 4 -outage-dur 2
 package main
 
 import (
@@ -46,6 +53,8 @@ func main() {
 		jitterProb = flag.Float64("jitter-prob", 0, "per-frame delay-jitter probability")
 		jitterMax  = flag.Int("jitter", 0, "max jitter delay in frame slots")
 		impairSeed = flag.Uint64("impair-seed", 1, "fault-injector seed")
+		outageAt   = flag.Float64("outage-at", 0, "schedule a relay reboot at this many seconds into the stream")
+		outageDur  = flag.Float64("outage-dur", 0, "reboot blackout length in seconds (0 = no outage)")
 	)
 	flag.Parse()
 
@@ -78,8 +87,17 @@ func main() {
 			fatal(err)
 		}
 	}
+	var outages []mute.Outage
+	if *outageDur > 0 {
+		// Frame slots advance one per sent frame, so seconds map to slots
+		// through the frame size.
+		outages = []mute.Outage{{
+			StartSlot:     uint64(*outageAt * fs / float64(*frame)),
+			DurationSlots: uint64(*outageDur * fs / float64(*frame)),
+		}}
+	}
 	var link *mute.LossyLink
-	if *loss > 0 || *dup > 0 || *reorder > 0 || *jitterProb > 0 {
+	if *loss > 0 || *dup > 0 || *reorder > 0 || *jitterProb > 0 || len(outages) > 0 {
 		link, err = mute.NewLossyLink(mute.LossParams{
 			Seed:       *impairSeed,
 			Loss:       *loss,
@@ -88,6 +106,7 @@ func main() {
 			Reorder:    *reorder,
 			JitterProb: *jitterProb,
 			MaxJitter:  *jitterMax,
+			Outages:    outages,
 		})
 		if err != nil {
 			fatal(err)
@@ -117,8 +136,8 @@ func main() {
 	}
 	if link != nil {
 		st := link.Stats()
-		fmt.Printf("muterelay: link impairments: offered %d, dropped %d, duplicated %d, delayed %d\n",
-			st.Offered, st.Dropped, st.Duplicated, st.Delayed)
+		fmt.Printf("muterelay: link impairments: offered %d, dropped %d (%d to outages), duplicated %d, delayed %d\n",
+			st.Offered, st.Dropped, st.OutageDropped, st.Duplicated, st.Delayed)
 	}
 	fmt.Println("muterelay: done")
 }

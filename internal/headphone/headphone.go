@@ -131,6 +131,14 @@ func NewANC(cfg Config) (*ANC, error) {
 // speaker now.
 func (h *ANC) Step(x, ePrev float64) float64 {
 	h.fx.Adapt(ePrev)
+	return h.Emit(x)
+}
+
+// Emit advances the reference history and output chain and returns the
+// anti-noise sample without adapting — Step minus the LMS update. The
+// supervisor uses it to keep a fading-out fallback leg audible during a
+// crossfade when the residual no longer reflects this filter's output.
+func (h *ANC) Emit(x float64) float64 {
 	h.fx.Push(x)
 	a := h.fx.AntiNoise()
 	a = h.bandl.Process(a)
@@ -142,6 +150,21 @@ func (h *ANC) Reset() {
 	h.fx.Reset()
 	h.delay.Reset()
 	h.bandl.Reset()
+}
+
+// Taps returns the causal adaptive-filter length.
+func (h *ANC) Taps() int { return h.cfg.Taps }
+
+// WarmStart seeds the adaptive filter with externally converged causal
+// weights — the supervisor hands over LANC's causal taps when the relay
+// link dies, so the local fallback starts from a plausible room model
+// instead of silence. w[0] is the tap for the newest reference sample;
+// shorter or longer slices are truncated/zero-padded to the filter length.
+func (h *ANC) WarmStart(w []float64) {
+	seed := make([]float64, h.cfg.Taps)
+	copy(seed, w)
+	// SetWeights only rejects a length mismatch, which the copy precludes.
+	_ = h.fx.SetWeights(seed)
 }
 
 // PassiveIsolation models the headphone's sound-absorbing ear cup as a

@@ -10,6 +10,7 @@ import (
 	"mute/internal/dsp"
 	"mute/internal/headphone"
 	"mute/internal/rf"
+	"mute/internal/supervisor"
 	"mute/internal/telemetry"
 )
 
@@ -98,6 +99,17 @@ type Params struct {
 	// canceller adapts through the returned concealment mask (LANC schemes
 	// only; the Bose schemes have no wireless leg).
 	LossTransport *LossTransport
+	// Supervise runs the LANC schemes under the degradation-ladder
+	// supervisor (internal/supervisor): a link-health estimator demotes
+	// the canceller through DEGRADED → FALLBACK (a local causal FxLMS
+	// warm-started from LANC's causal taps) → PASSTHROUGH as the
+	// forwarded reference degrades, and promotes it back with dwell,
+	// hysteresis, and backoff probes. On a clean link the supervised run
+	// is bit-identical to the unsupervised one.
+	Supervise bool
+	// SupervisorConfig overrides the supervisor tuning when Supervise is
+	// set (nil = supervisor defaults).
+	SupervisorConfig *supervisor.Config
 
 	// CausalTaps is LANC's causal filter length L.
 	CausalTaps int
@@ -183,6 +195,9 @@ type Result struct {
 	// Transport carries the packetized-link counters when
 	// Params.LossTransport was set (nil otherwise).
 	Transport *LossTransportStats
+	// Supervision carries the degradation-ladder report when
+	// Params.Supervise was set (nil otherwise).
+	Supervision *supervisor.Report
 	// BudgetSpend itemizes where the lookahead budget went, stage by
 	// stage (LANC schemes only; nil for the Bose schemes, which have no
 	// wireless lookahead to spend).
@@ -420,15 +435,42 @@ func Run(p Params, scheme Scheme) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		var sup *supervisor.Supervisor
+		if p.Supervise {
+			// The fallback is the Bose-class local canceller: its reference
+			// microphone hears the open-ear field, its physical latency is
+			// already inside secIR via the shared chain.
+			hcfg := headphone.DefaultConfig(fs, secEst)
+			hcfg.PipelineDelaySamples = 0
+			fb, err := headphone.NewANC(hcfg)
+			if err != nil {
+				return nil, err
+			}
+			scfg := supervisor.DefaultConfig()
+			if p.SupervisorConfig != nil {
+				scfg = *p.SupervisorConfig
+			}
+			scfg.Trace = p.Trace
+			sup, err = supervisor.New(scfg, lanc, fb)
+			if err != nil {
+				return nil, err
+			}
+		}
 		e := 0.0
 		for t := 0; t < n; t++ {
 			if p.Trace != nil && t%traceBlock == 0 {
 				traceLANC(p.Trace, int64(t), lanc)
+				if sup != nil {
+					sup.TraceState(p.Trace, int64(t))
+				}
 			}
 			var a float64
-			if mask != nil {
+			switch {
+			case sup != nil:
+				a = sup.Step(forwarded[t], open[t], e, mask == nil || mask[t])
+			case mask != nil:
 				a = lanc.StepMasked(forwarded[t], e, mask[t])
-			} else {
+			default:
 				a = lanc.Step(forwarded[t], e)
 			}
 			meas := underCup[t] + secCh.Process(a)
@@ -437,6 +479,10 @@ func Run(p Params, scheme Scheme) (*Result, error) {
 			residual[t] = e
 		}
 		res.Switches = lanc.Switches()
+		if sup != nil {
+			rep := sup.Report()
+			res.Supervision = &rep
+		}
 	default: // Bose schemes
 		// The headphone's reference mic sits on the cup exterior and
 		// hears the open-ear field; its own pipeline delay is inside
@@ -548,6 +594,16 @@ func instrumentRun(reg *telemetry.Registry, r *Result, n int) {
 	if r.BudgetSpend != nil {
 		for _, e := range r.BudgetSpend.Entries {
 			reg.Gauge("budget." + e.Stage + "_samples").Set(float64(e.Samples))
+		}
+	}
+	if r.Supervision != nil {
+		reg.Counter("supervisor.transitions").Add(int64(len(r.Supervision.Transitions)))
+		reg.Counter("supervisor.probes").Add(int64(r.Supervision.Probes))
+		reg.Counter("supervisor.failed_probes").Add(int64(r.Supervision.FailedProbes))
+		reg.Counter("supervisor.warm_starts").Add(int64(r.Supervision.WarmStarts))
+		reg.Counter("supervisor.tainted_suppressed").Add(r.Supervision.TaintedSuppressed)
+		for st, samples := range r.Supervision.TimeInState {
+			reg.Counter("supervisor.time_in_" + supervisor.State(st).String()).Add(samples)
 		}
 	}
 }

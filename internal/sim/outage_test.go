@@ -1,0 +1,248 @@
+package sim
+
+import (
+	"testing"
+
+	"mute/internal/audio"
+	"mute/internal/dsp"
+	"mute/internal/stream"
+	"mute/internal/supervisor"
+	"mute/internal/telemetry"
+)
+
+// outageTransport packetizes the reference over an otherwise-clean link
+// with one scheduled relay outage: 5 ms frames, one frame of playout
+// priming, loss-aware adaptation. With FEC off every data frame occupies
+// exactly one link slot, so slot k carries samples [40k, 40k+40).
+func outageTransport(startSlot, durationSlots uint64) *LossTransport {
+	return &LossTransport{
+		Link: stream.LossParams{
+			Seed:    7,
+			Outages: []stream.Outage{{StartSlot: startSlot, DurationSlots: durationSlots}},
+		},
+		FrameSamples: 40,
+		PrimeFrames:  1,
+		LossAware:    true,
+	}
+}
+
+// outageSupervisorConfig raises the demotion thresholds above the
+// concealment transient that the playout-priming shift causes at t=0
+// (one 40-sample concealed prefix ≈ 0.15 EWMA peak), so every ladder
+// move in these tests is attributable to the scheduled outage.
+func outageSupervisorConfig() *supervisor.Config {
+	return &supervisor.Config{DegradeThreshold: 0.2, FallbackThreshold: 0.5}
+}
+
+// segmentDB measures residual-vs-open power over [lo, hi) seconds.
+func segmentDB(res *Result, lo, hi float64) float64 {
+	s0 := int(lo * float64(res.SampleRate))
+	s1 := int(hi * float64(res.SampleRate))
+	var resPow, openPow float64
+	for t := s0; t < s1; t++ {
+		resPow += res.On[t] * res.On[t]
+		openPow += res.Open[t] * res.Open[t]
+	}
+	return dsp.DB((resPow + dsp.EpsilonPower) / (openPow + dsp.EpsilonPower))
+}
+
+// TestSupervisedOutageLadderWalk is the acceptance scenario: a 15 s
+// MUTE_Hollow run whose relay reboots for 2 s at t=10 s. The supervised
+// pipeline must walk down the ladder into FALLBACK during the outage,
+// never emit concealed-reference anti-noise there, climb back to LANC
+// after the link returns, and recover to within 1 dB of its pre-outage
+// cancellation within 3 s of restoration.
+func TestSupervisedOutageLadderWalk(t *testing.T) {
+	const (
+		fs          = 8000
+		outageStart = 10.0 // seconds
+		outageDur   = 2.0
+	)
+	p := DefaultParams(DefaultScene(audio.NewWhiteNoise(1, fs, 0.5)))
+	p.Duration = 15
+	p.Seed = 1
+	p.Supervise = true
+	p.SupervisorConfig = outageSupervisorConfig()
+	// 40-sample frames: slot k carries samples [40k, 40k+40).
+	p.LossTransport = outageTransport(uint64(outageStart*fs/40), uint64(outageDur*fs/40))
+	res, err := Run(p, MUTEHollow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := res.Supervision
+	if rep == nil {
+		t.Fatal("supervised run returned no supervision report")
+	}
+
+	// The ladder walk: every move happens inside or after the outage
+	// window (the thresholds above keep the priming transient quiet),
+	// reaches FALLBACK while the link is down, and ends back at LANC.
+	if len(rep.Transitions) == 0 {
+		t.Fatal("no ladder transitions over a 2 s outage")
+	}
+	startSample := int64(outageStart * fs)
+	if first := rep.Transitions[0]; first.From != supervisor.StateLANC || first.At < startSample {
+		t.Fatalf("first transition %v→%v at t=%d, want a demotion from LANC after t=%d",
+			first.From, first.To, first.At, startSample)
+	}
+	var hitFallback bool
+	var backAt int64 = -1
+	for _, tr := range rep.Transitions {
+		if tr.To == supervisor.StateFallback {
+			hitFallback = true
+		}
+		if hitFallback && tr.To == supervisor.StateLANC {
+			backAt = tr.At
+		}
+	}
+	if !hitFallback {
+		t.Fatalf("ladder never reached FALLBACK: %+v", rep.Transitions)
+	}
+	if rep.FinalState != supervisor.StateLANC || backAt < 0 {
+		t.Fatalf("ladder did not return to LANC (final %v, transitions %+v)",
+			rep.FinalState, rep.Transitions)
+	}
+	restored := int64((outageStart + outageDur) * fs)
+	if backAt > restored+3*fs {
+		t.Errorf("promotion back to LANC at t=%d, want within 3 s of restoration (t=%d)",
+			backAt, restored)
+	}
+	if rep.WarmStarts == 0 {
+		t.Error("fallback engaged without a warm start from LANC's causal taps")
+	}
+	if rep.Probes == 0 {
+		t.Error("no reacquisition probes fired during the outage")
+	}
+
+	// The FALLBACK guarantee: concealed-reference anti-noise is never
+	// emitted. The only LANC output after the demotion is its crossfade
+	// tail, and during an outage that tail is tainted — so every one of
+	// its samples must have been suppressed.
+	if rep.TimeInState[supervisor.StateFallback] == 0 {
+		t.Error("no time spent in FALLBACK")
+	}
+	if rep.TaintedSuppressed == 0 {
+		t.Error("demotion crossfade during the outage suppressed no tainted LANC samples")
+	}
+	var total int64
+	for _, s := range rep.TimeInState {
+		total += s
+	}
+	if total != int64(len(res.On)) {
+		t.Errorf("time-in-state sums to %d, run is %d samples", total, len(res.On))
+	}
+
+	// Recovery: cancellation over the last two seconds (≥ 1 s after the
+	// promotion, ending exactly 3 s after restoration) must be within
+	// 1 dB of the converged pre-outage window.
+	pre := segmentDB(res, 8, 10)
+	post := segmentDB(res, 13, 15)
+	if post > pre+1 {
+		t.Errorf("post-outage cancellation %.2f dB, pre-outage %.2f dB: recovery worse than 1 dB", post, pre)
+	}
+	t.Logf("pre %.2f dB, post %.2f dB, transitions %+v", pre, post, rep.Transitions)
+}
+
+// TestSupervisedCleanLinkBitIdentity pins the supervisor's zero-cost
+// guarantee: with a healthy link the supervised pipeline makes no ladder
+// moves and its residual is bit-identical to the unsupervised one — both
+// over the ideal reference wire and over a clean packetized transport.
+func TestSupervisedCleanLinkBitIdentity(t *testing.T) {
+	run := func(supervise bool, lt *LossTransport) *Result {
+		t.Helper()
+		p := DefaultParams(DefaultScene(audio.NewWhiteNoise(1, 8000, 0.5)))
+		p.Duration = 2
+		p.Seed = 1
+		p.Supervise = supervise
+		if supervise {
+			p.SupervisorConfig = outageSupervisorConfig()
+		}
+		p.LossTransport = lt
+		res, err := Run(p, MUTEHollow)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	cleanStream := func() *LossTransport {
+		return &LossTransport{
+			Link:         stream.LossParams{Seed: 7},
+			FrameSamples: 40,
+			PrimeFrames:  1,
+			LossAware:    true,
+		}
+	}
+	cases := []struct {
+		name string
+		lt   func() *LossTransport
+	}{
+		{"ideal_wire", func() *LossTransport { return nil }},
+		{"clean_stream", cleanStream},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			plain := run(false, tc.lt())
+			sup := run(true, tc.lt())
+			if n := len(sup.Supervision.Transitions); n != 0 {
+				t.Fatalf("clean link caused %d ladder transitions: %+v",
+					n, sup.Supervision.Transitions)
+			}
+			if len(plain.On) != len(sup.On) {
+				t.Fatalf("length mismatch: %d vs %d", len(plain.On), len(sup.On))
+			}
+			for i := range plain.On {
+				if plain.On[i] != sup.On[i] {
+					t.Fatalf("residual diverges at sample %d: %v vs %v",
+						i, plain.On[i], sup.On[i])
+				}
+			}
+		})
+	}
+}
+
+// TestGoldenTraceOutage is the outage golden: a three-second supervised
+// run whose relay goes dark for half a second at t=1 s. The trace pins the
+// supervisor stage — periodic state/health events plus the transition
+// events of the full ladder round trip — alongside the stream and
+// canceller stages. Regenerate with -update; CI replays it at -count=2 to
+// enforce a byte-identical transition trace.
+func TestGoldenTraceOutage(t *testing.T) {
+	tr := telemetry.NewTrace()
+	p := DefaultParams(DefaultScene(audio.NewWhiteNoise(1, 8000, 0.5)))
+	p.Duration = 3
+	p.Seed = 1
+	p.Trace = tr
+	p.Supervise = true
+	p.SupervisorConfig = outageSupervisorConfig()
+	p.LossTransport = outageTransport(200, 100) // dark for [1.0 s, 1.5 s)
+	res, err := Run(p, MUTEHollow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkBudgetInvariant(t, tr, res)
+	if res.Supervision == nil || res.Supervision.FinalState != supervisor.StateLANC {
+		t.Fatalf("outage golden run did not end back at LANC: %+v", res.Supervision)
+	}
+	var transitions int
+	var stateEvents int
+	for _, ev := range tr.Events() {
+		if ev.Stage != telemetry.StageSupervisor {
+			continue
+		}
+		switch ev.Name {
+		case "transition":
+			transitions++
+		case "state":
+			stateEvents++
+		}
+	}
+	if transitions != len(res.Supervision.Transitions) {
+		t.Errorf("trace has %d transition events, report has %d",
+			transitions, len(res.Supervision.Transitions))
+	}
+	if transitions == 0 || stateEvents == 0 {
+		t.Errorf("supervisor stage missing from trace: %d transitions, %d state events",
+			transitions, stateEvents)
+	}
+	checkGolden(t, "golden_outage", tr)
+}

@@ -98,14 +98,25 @@ func Unmarshal(data []byte) (*Frame, error) {
 		Seq:       binary.BigEndian.Uint32(data[4:8]),
 		Timestamp: binary.BigEndian.Uint64(data[8:16]),
 		Parity:    data[3]&1 == 1,
-		GroupSize: data[3] >> 1,
 		Samples:   make([]float64, count),
 	}
-	if f.Parity && f.GroupSize < 2 {
-		return nil, fmt.Errorf("stream: parity frame with invalid group size %d", f.GroupSize)
+	if f.Parity {
+		// The group size is meaningful only on parity frames; ignoring the
+		// bits otherwise keeps decoding canonical (decode→encode→decode is
+		// the identity), which the fuzz round-trip relies on.
+		f.GroupSize = data[3] >> 1
+		if f.GroupSize < 2 {
+			return nil, fmt.Errorf("stream: parity frame with invalid group size %d", f.GroupSize)
+		}
 	}
 	for i := 0; i < count; i++ {
 		v := int16(binary.BigEndian.Uint16(data[headerSize+2*i:]))
+		if v == math.MinInt16 {
+			// The Q15 grid is symmetric at ±32767; the encoder never emits
+			// -32768, so fold the one off-grid wire value onto -1.0 to keep
+			// decoding canonical (decode→encode→decode is the identity).
+			v = math.MinInt16 + 1
+		}
 		f.Samples[i] = float64(v) / 32767
 	}
 	return f, nil

@@ -1,9 +1,67 @@
 package stream
 
 import (
+	"bytes"
 	"math"
 	"testing"
 )
+
+// FuzzFrameUnmarshal hardens the wire decoder: arbitrary bytes must never
+// panic, and any datagram that decodes must round-trip canonically —
+// Marshal of the decoded frame succeeds, re-decodes to an identical frame,
+// and re-encodes to identical bytes. (The input bytes themselves need not
+// be reproduced: trailing garbage and dead flag bits are dropped, which is
+// exactly the canonicalization the round-trip pins down.)
+func FuzzFrameUnmarshal(f *testing.F) {
+	data, err := (&Frame{Seq: 3, Timestamp: 240, Samples: []float64{0.5, -0.25, 1}}).Marshal()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(data)
+	parity, err := (&Frame{Seq: 9, Timestamp: 0, Parity: true, GroupSize: 4, Samples: []float64{0.1}}).Marshal()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(parity)
+	f.Add([]byte{})
+	f.Add([]byte{0x4d, 0x55, 1, 0, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 80, 0, 1, 0x7f, 0xff})
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, err := Unmarshal(data)
+		if err != nil {
+			return // rejected inputs only need to not panic
+		}
+		enc, err := fr.Marshal()
+		if err != nil {
+			t.Fatalf("decoded frame does not re-marshal: %v", err)
+		}
+		fr2, err := Unmarshal(enc)
+		if err != nil {
+			t.Fatalf("canonical bytes do not decode: %v", err)
+		}
+		if fr2.Seq != fr.Seq || fr2.Timestamp != fr.Timestamp ||
+			fr2.Parity != fr.Parity || fr2.GroupSize != fr.GroupSize {
+			t.Fatalf("header drifted across round-trip: %+v vs %+v", fr, fr2)
+		}
+		if len(fr2.Samples) != len(fr.Samples) {
+			t.Fatalf("payload length drifted: %d vs %d", len(fr.Samples), len(fr2.Samples))
+		}
+		for i := range fr.Samples {
+			// Unmarshal yields exact k/32767 values, which Marshal maps
+			// back to k — the second decode must reproduce them exactly.
+			if fr2.Samples[i] != fr.Samples[i] {
+				t.Fatalf("sample %d drifted: %v vs %v", i, fr.Samples[i], fr2.Samples[i])
+			}
+		}
+		enc2, err := fr2.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(enc, enc2) {
+			t.Fatal("canonical encoding is not a fixed point")
+		}
+	})
+}
 
 // canonical returns the reference sample value for capture index c. Every
 // fuzz-pushed frame carries canonical values, so any sample the buffer

@@ -17,6 +17,10 @@ type JitterStats struct {
 	FramesLate uint64
 	// FramesDropped counts on-time frames evicted by a depth overflow.
 	FramesDropped uint64
+	// FramesCorrupt counts datagrams that failed to unmarshal (bad magic,
+	// truncated payload, ...). Maintained by the network Receiver; the
+	// in-process buffer never sees wire bytes.
+	FramesCorrupt uint64
 	// SamplesConcealed counts zero-filled (lost) samples handed out.
 	SamplesConcealed uint64
 	// SamplesDelivered counts real samples handed out.

@@ -18,6 +18,25 @@ import (
 // is delivered together with the frame offered k slots later, which is how
 // latency jitter turns into reordering at the receiver.
 
+// Outage is a scheduled total-loss window: every frame offered during
+// [StartSlot, StartSlot+DurationSlots) is dropped, regardless of the
+// stochastic loss process. It models deterministic relay failures — a
+// reboot, an unplugged antenna, a deep shadowing event — that the
+// supervisor's degradation ladder must ride out. Slots are the link's
+// frame clock (one slot per frame offered), so an outage of D seconds at
+// frame size F samples and rate fs spans D·fs/F slots.
+type Outage struct {
+	// StartSlot is the first slot of the outage.
+	StartSlot uint64
+	// DurationSlots is how many slots the outage lasts.
+	DurationSlots uint64
+}
+
+// Covers reports whether slot falls inside the outage window.
+func (o Outage) Covers(slot uint64) bool {
+	return slot >= o.StartSlot && slot < o.StartSlot+o.DurationSlots
+}
+
 // LossParams configures a LossyLink. The zero value is a perfect link.
 type LossParams struct {
 	// Seed drives all impairment randomness; identical seeds reproduce
@@ -41,6 +60,10 @@ type LossParams struct {
 	JitterProb float64
 	// MaxJitter bounds the extra latency in slots.
 	MaxJitter int
+	// Outages schedules deterministic total-loss windows on top of the
+	// stochastic impairments (relay reboots, deep fades at the frame
+	// level). Windows may overlap; frames in any window are dropped.
+	Outages []Outage
 }
 
 // Validate checks the parameter ranges.
@@ -65,6 +88,11 @@ func (p LossParams) Validate() error {
 	if p.JitterProb > 0 && p.MaxJitter == 0 {
 		return fmt.Errorf("stream: jitter probability %g needs MaxJitter > 0", p.JitterProb)
 	}
+	for i, o := range p.Outages {
+		if o.DurationSlots == 0 {
+			return fmt.Errorf("stream: outage %d has zero duration", i)
+		}
+	}
 	return nil
 }
 
@@ -74,6 +102,9 @@ type LinkStats struct {
 	Offered uint64
 	// Dropped is the number of frames the link lost.
 	Dropped uint64
+	// OutageDropped counts the subset of Dropped that a scheduled outage
+	// window took after the frame survived the stochastic loss process.
+	OutageDropped uint64
 	// Duplicated is the number of extra copies the link injected.
 	Duplicated uint64
 	// Delayed is the number of frames delivered later than their slot.
@@ -116,6 +147,16 @@ func NewLossyLink(p LossParams) (*LossyLink, error) {
 		l.pGB = l.pBG * p.Loss / (1 - p.Loss)
 	}
 	return l, nil
+}
+
+// inOutage reports whether the current slot falls in a scheduled outage.
+func (l *LossyLink) inOutage() bool {
+	for _, o := range l.p.Outages {
+		if o.Covers(l.slot) {
+			return true
+		}
+	}
+	return false
 }
 
 // drop decides the fate of one offered frame, advancing the loss process.
@@ -184,13 +225,23 @@ func (l *LossyLink) Transfer(f *Frame) []*Frame {
 			if l.p.JitterProb > 0 && l.rng.Float64() < l.p.JitterProb {
 				delay += uint64(1 + l.rng.Intn(l.p.MaxJitter))
 			}
-			if delay > 0 {
-				l.stats.Delayed++
-			}
-			l.enqueue(l.slot+delay, f)
-			if l.p.Duplicate > 0 && l.rng.Float64() < l.p.Duplicate {
-				l.stats.Duplicated++
-				l.enqueue(l.slot+delay+1, f)
+			dup := l.p.Duplicate > 0 && l.rng.Float64() < l.p.Duplicate
+			// A scheduled outage swallows the frame after the stochastic
+			// draws, so the same seed yields the same loss/jitter pattern
+			// outside the outage windows whatever the schedule — runs with
+			// and without an outage stay comparable frame for frame.
+			if l.inOutage() {
+				l.stats.Dropped++
+				l.stats.OutageDropped++
+			} else {
+				if delay > 0 {
+					l.stats.Delayed++
+				}
+				l.enqueue(l.slot+delay, f)
+				if dup {
+					l.stats.Duplicated++
+					l.enqueue(l.slot+delay+1, f)
+				}
 			}
 		}
 	}

@@ -1,0 +1,206 @@
+package stream
+
+import (
+	"net"
+	"testing"
+	"time"
+)
+
+// TestSenderCloseFlushesPartialFrame is the regression test for the
+// buffered-tail drop: Close on a sender holding a partial frame must flush
+// it (and drain the impairment link) before releasing the socket, so the
+// last samples of a stream reach the receiver.
+func TestSenderCloseFlushesPartialFrame(t *testing.T) {
+	rx, err := NewReceiver("127.0.0.1:0", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rx.Close()
+	tx, err := NewSender(rx.Addr(), 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 30 samples: less than one frame, so Send keeps them pending.
+	partial := make([]float64, 30)
+	for i := range partial {
+		partial[i] = 0.25
+	}
+	if err := tx.Send(partial); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Close(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for rx.Buffered() == 0 && time.Now().Before(deadline) {
+		if _, err := rx.Poll(50 * time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dst := make([]float64, 30)
+	if got := rx.Pop(dst); got != 30 {
+		t.Fatalf("partial frame lost on Close: delivered %d of 30 samples", got)
+	}
+}
+
+// TestSenderCloseDrainsImpairmentLink covers the second half of the Close
+// contract: frames a jittery fault-injection link still holds in flight
+// must land on the wire before the socket closes.
+func TestSenderCloseDrainsImpairmentLink(t *testing.T) {
+	rx, err := NewReceiver("127.0.0.1:0", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rx.Close()
+	tx, err := NewSender(rx.Addr(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	link, err := NewLossyLink(LossParams{Seed: 1, JitterProb: 1, MaxJitter: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx.Impair(link)
+	if err := tx.Send(make([]float64, 8)); err != nil { // two full frames, all delayed
+		t.Fatal(err)
+	}
+	if err := tx.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The jittered frames may arrive out of order; whichever lands first
+	// anchors the jitter buffer's playout clock, so the other can be
+	// counted late. Either way both must reach the receiver: arrival —
+	// received or late — is what proves Close drained the link.
+	deadline := time.Now().Add(2 * time.Second)
+	arrived := uint64(0)
+	for arrived < 2 && time.Now().Before(deadline) {
+		if _, err := rx.Poll(50 * time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+		st := rx.Stats()
+		arrived = st.FramesReceived + st.FramesLate
+	}
+	if arrived != 2 {
+		t.Fatalf("link still held frames after Close: %d of 2 arrived", arrived)
+	}
+}
+
+// TestReceiverPollToleratesMalformedDatagram: stray or corrupted packets
+// must be counted, not turned into poll-loop errors.
+func TestReceiverPollToleratesMalformedDatagram(t *testing.T) {
+	rx, err := NewReceiver("127.0.0.1:0", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rx.Close()
+	raw, err := net.Dial("udp", rx.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	// Three flavors of garbage: too short, bad magic, truncated payload.
+	good, err := (&Frame{Seq: 7, Timestamp: 80, Samples: make([]float64, 4)}).Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, datagram := range [][]byte{
+		{0x00},
+		{0xde, 0xad, 0xbe, 0xef, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0},
+		good[:len(good)-3],
+	} {
+		if _, err := raw.Write(datagram); err != nil {
+			t.Fatal(err)
+		}
+		got, err := rx.Poll(time.Second)
+		if err != nil {
+			t.Fatalf("malformed datagram failed the poll loop: %v", err)
+		}
+		if got {
+			t.Error("malformed datagram reported as buffered")
+		}
+	}
+	if c := rx.Stats().FramesCorrupt; c != 3 {
+		t.Errorf("FramesCorrupt = %d, want 3", c)
+	}
+	// The receive loop must still be alive: a valid frame goes through.
+	if _, err := raw.Write(good); err != nil {
+		t.Fatal(err)
+	}
+	ok, err := rx.Poll(time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("valid frame after garbage did not enter the buffer")
+	}
+}
+
+// TestLossyLinkScheduledOutage checks the deterministic outage window:
+// every frame offered inside it is dropped, and — because the outage gate
+// is applied after the stochastic draws advance — the loss pattern outside
+// the window is identical to the same seed with no outage scheduled.
+func TestLossyLinkScheduledOutage(t *testing.T) {
+	run := func(outages []Outage) (delivered map[uint32]bool, stats LinkStats) {
+		link, err := NewLossyLink(LossParams{Seed: 5, Loss: 0.1, Outages: outages})
+		if err != nil {
+			t.Fatal(err)
+		}
+		delivered = map[uint32]bool{}
+		for i := 0; i < 200; i++ {
+			for _, f := range link.Transfer(&Frame{Seq: uint32(i), Samples: []float64{0}}) {
+				delivered[f.Seq] = true
+			}
+		}
+		for _, f := range link.Drain() {
+			delivered[f.Seq] = true
+		}
+		return delivered, link.Stats()
+	}
+
+	outage := Outage{StartSlot: 50, DurationSlots: 30}
+	withOut, st := run([]Outage{outage})
+	clean, _ := run(nil)
+
+	for seq := uint32(50); seq < 80; seq++ {
+		if withOut[seq] {
+			t.Fatalf("frame %d delivered inside the outage window", seq)
+		}
+	}
+	// OutageDropped counts the frames the outage took that the stochastic
+	// process would have delivered — exactly the clean run's deliveries in
+	// the window.
+	wantOutage := uint64(0)
+	for seq := uint32(50); seq < 80; seq++ {
+		if clean[seq] {
+			wantOutage++
+		}
+	}
+	if wantOutage == 0 {
+		t.Fatal("test seed lost every frame in the window; pick another seed")
+	}
+	if st.OutageDropped != wantOutage {
+		t.Errorf("OutageDropped = %d, want %d", st.OutageDropped, wantOutage)
+	}
+	for seq := uint32(0); seq < 200; seq++ {
+		if seq >= 50 && seq < 80 {
+			continue
+		}
+		if withOut[seq] != clean[seq] {
+			t.Errorf("frame %d fate differs outside the outage window (outage %v, clean %v)",
+				seq, withOut[seq], clean[seq])
+		}
+	}
+}
+
+// TestOutageValidation rejects zero-length windows.
+func TestOutageValidation(t *testing.T) {
+	if _, err := NewLossyLink(LossParams{Outages: []Outage{{StartSlot: 3}}}); err == nil {
+		t.Error("zero-duration outage should fail validation")
+	}
+	if !(Outage{StartSlot: 2, DurationSlots: 2}).Covers(3) {
+		t.Error("slot 3 should be covered by [2, 4)")
+	}
+	if (Outage{StartSlot: 2, DurationSlots: 2}).Covers(4) {
+		t.Error("slot 4 is past the half-open window")
+	}
+}

@@ -14,6 +14,7 @@ func (s JitterStats) Publish(reg *telemetry.Registry, prefix string) {
 	reg.Counter(prefix + "frames_duplicate").Add(int64(s.FramesDuplicate))
 	reg.Counter(prefix + "frames_late").Add(int64(s.FramesLate))
 	reg.Counter(prefix + "frames_dropped").Add(int64(s.FramesDropped))
+	reg.Counter(prefix + "frames_corrupt").Add(int64(s.FramesCorrupt))
 	reg.Counter(prefix + "samples_concealed").Add(int64(s.SamplesConcealed))
 	reg.Counter(prefix + "samples_delivered").Add(int64(s.SamplesDelivered))
 }
@@ -26,6 +27,7 @@ func (s LinkStats) Publish(reg *telemetry.Registry, prefix string) {
 	}
 	reg.Counter(prefix + "frames_offered").Add(int64(s.Offered))
 	reg.Counter(prefix + "frames_dropped").Add(int64(s.Dropped))
+	reg.Counter(prefix + "frames_outage_dropped").Add(int64(s.OutageDropped))
 	reg.Counter(prefix + "frames_duplicated").Add(int64(s.Duplicated))
 	reg.Counter(prefix + "frames_delayed").Add(int64(s.Delayed))
 	reg.Counter(prefix + "frames_delivered").Add(int64(s.Delivered))

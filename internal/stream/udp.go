@@ -126,8 +126,18 @@ func (s *Sender) write(f *Frame) error {
 	return nil
 }
 
-// Close releases the socket.
-func (s *Sender) Close() error { return s.conn.Close() }
+// Close flushes any buffered partial frame (and drains the impairment
+// link, if one is installed) before releasing the socket, so the tail of
+// the stream is not silently dropped. The first error wins: a flush
+// failure is reported even though the socket is still closed.
+func (s *Sender) Close() error {
+	ferr := s.Flush()
+	cerr := s.conn.Close()
+	if ferr != nil {
+		return ferr
+	}
+	return cerr
+}
 
 // Receiver listens for audio frames on a UDP port and feeds a jitter
 // buffer. It is the network-transport face of the ear device.
@@ -137,6 +147,7 @@ type Receiver struct {
 	buf       []byte
 	fec       *FECDecoder
 	recovered uint64
+	corrupt   uint64
 }
 
 // NewReceiver listens on addr (e.g. "127.0.0.1:0") with a jitter buffer of
@@ -166,7 +177,10 @@ func (r *Receiver) Addr() string { return r.conn.LocalAddr().String() }
 // a data frame FEC reconstructed from a parity frame. Parity frames that
 // recover nothing, late frames, and duplicates consume a datagram but
 // return false, as does a timeout; use Stats and Recovered to tell the
-// cases apart. Malformed datagrams are dropped with an error return.
+// cases apart. A malformed datagram (stray traffic, bit rot) is counted
+// in Stats().FramesCorrupt and otherwise ignored — one bad packet must
+// not fail the receive loop of a device whose whole job is riding out a
+// bad link.
 func (r *Receiver) Poll(timeout time.Duration) (bool, error) {
 	if err := r.conn.SetReadDeadline(time.Now().Add(timeout)); err != nil {
 		return false, err
@@ -180,7 +194,8 @@ func (r *Receiver) Poll(timeout time.Duration) (bool, error) {
 	}
 	f, err := Unmarshal(r.buf[:n])
 	if err != nil {
-		return false, err
+		r.corrupt++
+		return false, nil
 	}
 	out := r.fec.Add(f)
 	if out == nil {
@@ -202,8 +217,13 @@ func (r *Receiver) Pop(dst []float64) int { return r.jb.Pop(dst) }
 // dst[i] is a real received sample and false where it was zero-filled.
 func (r *Receiver) PopMask(dst []float64, mask []bool) int { return r.jb.PopMask(dst, mask) }
 
-// Stats returns jitter-buffer statistics.
-func (r *Receiver) Stats() JitterStats { return r.jb.Stats() }
+// Stats returns jitter-buffer statistics plus the receiver's own
+// malformed-datagram count.
+func (r *Receiver) Stats() JitterStats {
+	st := r.jb.Stats()
+	st.FramesCorrupt = r.corrupt
+	return st
+}
 
 // Buffered returns the number of frames waiting in the jitter buffer.
 func (r *Receiver) Buffered() int { return r.jb.Buffered() }

@@ -1,0 +1,153 @@
+package supervisor
+
+import (
+	"fmt"
+
+	"mute/internal/relaysel"
+)
+
+// FailoverConfig parameterizes multi-relay failover.
+type FailoverConfig struct {
+	// Relays is the number of forwarded streams.
+	Relays int
+	// EWMAAlpha smooths each relay's concealment ratio (default 1/256).
+	EWMAAlpha float64
+	// UnhealthyThreshold is the smoothed concealment ratio above which a
+	// relay is ineligible (default 0.25).
+	UnhealthyThreshold float64
+	// SwitchMargin is how much lower (absolute ratio) a challenger's
+	// health must be before the failover abandons the current relay
+	// (default 0.1) — hysteresis against flapping between two mediocre
+	// links.
+	SwitchMargin float64
+	// HoldSamples is the minimum dwell on a relay after a switch
+	// (default 2048).
+	HoldSamples int
+}
+
+func (c *FailoverConfig) fill() error {
+	if c.Relays <= 0 {
+		return fmt.Errorf("supervisor: failover needs at least one relay, got %d", c.Relays)
+	}
+	if c.EWMAAlpha <= 0 {
+		c.EWMAAlpha = 1.0 / 256
+	}
+	if c.UnhealthyThreshold <= 0 {
+		c.UnhealthyThreshold = 0.25
+	}
+	if c.SwitchMargin <= 0 {
+		c.SwitchMargin = 0.1
+	}
+	if c.HoldSamples <= 0 {
+		c.HoldSamples = 2048
+	}
+	return nil
+}
+
+// Failover selects which relay's forwarded stream feeds the canceller. It
+// layers link health over acoustic preference: the relaysel.Tracker keeps
+// answering "which relay hears the noise source earliest?" (Section 4.2's
+// periodic GCC-PHAT re-selection) while per-relay concealment EWMAs answer
+// "which relays are actually delivering frames?". The acoustically best
+// relay wins whenever it is healthy; when its link dies the failover moves
+// to the healthiest alternative and returns once the preferred relay's
+// link recovers by a clear margin.
+type Failover struct {
+	cfg     FailoverConfig
+	tracker *relaysel.Tracker
+	ewma    []float64
+	active  int
+	held    int
+	t       int64
+	moves   int
+}
+
+// NewFailover wraps a tracker (which may be nil when acoustic re-selection
+// is not wanted; relay 0 is then the standing preference).
+func NewFailover(cfg FailoverConfig, tracker *relaysel.Tracker) (*Failover, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	return &Failover{
+		cfg:     cfg,
+		tracker: tracker,
+		ewma:    make([]float64, cfg.Relays),
+		held:    cfg.HoldSamples, // free to switch immediately at start
+	}, nil
+}
+
+// Step feeds one sample period: the local (error-mic) sample, one
+// forwarded sample per relay, and each relay's concealment flag (true =
+// genuinely received). It returns the relay index whose stream the
+// canceller should consume this period.
+func (f *Failover) Step(local float64, forwarded []float64, real []bool) (int, error) {
+	if len(forwarded) != f.cfg.Relays || len(real) != f.cfg.Relays {
+		return 0, fmt.Errorf("supervisor: failover fed %d/%d streams, want %d",
+			len(forwarded), len(real), f.cfg.Relays)
+	}
+	for i, r := range real {
+		x := 1.0
+		if r {
+			x = 0
+		}
+		f.ewma[i] += f.cfg.EWMAAlpha * (x - f.ewma[i])
+	}
+	if f.tracker != nil {
+		if _, err := f.tracker.Push(local, forwarded); err != nil {
+			return 0, err
+		}
+	}
+	f.t++
+	if f.held < f.cfg.HoldSamples {
+		f.held++
+		return f.active, nil
+	}
+
+	// The acoustic preference: the tracker's pick when it has one, relay 0
+	// as the standing preference when re-selection is disabled, and the
+	// current association while a tracker is still warming up.
+	preferred := f.active
+	if f.tracker == nil {
+		preferred = 0
+	} else if cur := f.tracker.Current(); cur >= 0 {
+		preferred = cur
+	}
+	// The acoustic preference wins whenever its link is healthy — with
+	// hysteresis at half the threshold so a link hovering at the boundary
+	// does not pull the association back and forth.
+	if preferred != f.active && f.ewma[preferred] < f.cfg.UnhealthyThreshold/2 {
+		f.switchTo(preferred)
+		return f.active, nil
+	}
+	// Otherwise move only when the active link has gone unhealthy and a
+	// clearly healthier alternative exists.
+	if f.ewma[f.active] >= f.cfg.UnhealthyThreshold {
+		best := f.active
+		for i, e := range f.ewma {
+			if e < f.ewma[best] {
+				best = i
+			}
+		}
+		if best != f.active && f.ewma[best]+f.cfg.SwitchMargin <= f.ewma[f.active] {
+			f.switchTo(best)
+		}
+	}
+	return f.active, nil
+}
+
+func (f *Failover) switchTo(relay int) {
+	f.active = relay
+	f.held = 0
+	f.moves++
+}
+
+// Active returns the currently selected relay.
+func (f *Failover) Active() int { return f.active }
+
+// Switches returns how many relay moves the failover has made.
+func (f *Failover) Switches() int { return f.moves }
+
+// Health returns a copy of the per-relay smoothed concealment ratios.
+func (f *Failover) Health() []float64 {
+	return append([]float64(nil), f.ewma...)
+}

@@ -1,0 +1,53 @@
+// Package supervisor implements MUTE's relay-outage resilience: a
+// link-health estimator feeding a deterministic degradation ladder that
+// steps the ear device down from full lookahead-aware cancellation to a
+// local causal fallback — and back — as the wireless reference comes and
+// goes.
+//
+// The paper's system is only as good as its IoT relay link: LANC's
+// non-causal taps are realizable precisely because the relay delivers
+// x(t+N) early, so when the relay reboots or fades out, the lookahead
+// evaporates and an unsupervised canceller adapts against concealment
+// zeros. The ladder bounds that failure:
+//
+//	LANC        full non-causal window, the paper's algorithm
+//	DEGRADED    shrunken non-causal window (core.LANC.LimitNonCausal)
+//	FALLBACK    local causal FxLMS (internal/headphone), warm-started
+//	            from LANC's causal taps — the Bose-class canceller the
+//	            paper compares against, which needs no wireless leg
+//	PASSTHROUGH anti-noise muted; passive isolation only
+//
+// Every demotion and promotion is dwell-gated, hysteretic, and crossfaded,
+// and promotions out of FALLBACK/PASSTHROUGH are additionally paced by an
+// exponential-backoff reacquisition probe so a flapping link cannot thrash
+// the filters. All decisions run on the sample clock from deterministic
+// inputs, so a seeded run yields a byte-identical transition trace.
+package supervisor
+
+// health is the link-health estimator. Its single per-sample input is the
+// transport concealment flag (stream.JitterBuffer's PopMask verdict): a
+// concealed sample is evidence of loss, jitter-buffer starvation, or a
+// lookahead-budget deficit — whichever layer failed, the canceller saw a
+// fabricated reference sample. From the flag it maintains the EWMA
+// concealment ratio (the smoothed loss rate) and the current starvation
+// run (consecutive concealed samples, the outage detector).
+type health struct {
+	alpha float64 // EWMA smoothing constant
+	ewma  float64 // smoothed concealment ratio in [0, 1]
+	run   int     // current consecutive-concealed run
+	clean int     // current consecutive-real run
+}
+
+// observe folds one sample period's concealment flag into the estimate.
+func (h *health) observe(real bool) {
+	x := 0.0
+	if real {
+		h.run = 0
+		h.clean++
+	} else {
+		x = 1
+		h.run++
+		h.clean = 0
+	}
+	h.ewma += h.alpha * (x - h.ewma)
+}

@@ -30,6 +30,9 @@ const (
 	// StageBudget tags the per-stage lookahead budget entries (see
 	// BudgetReport.Record); their samples sum to the run's lookahead.
 	StageBudget = "budget"
+	// StageSupervisor tags the degradation-ladder supervisor: state
+	// transitions, link-health estimates, and reacquisition probes.
+	StageSupervisor = "supervisor"
 )
 
 // Event is one trace record: a pipeline stage observed at a sample-clock

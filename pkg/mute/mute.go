@@ -27,10 +27,13 @@ import (
 	"mute/internal/audio"
 	"mute/internal/core"
 	"mute/internal/dsp"
+	"mute/internal/headphone"
 	"mute/internal/metrics"
 	"mute/internal/relaysel"
+	"mute/internal/rf"
 	"mute/internal/sim"
 	"mute/internal/stream"
+	"mute/internal/supervisor"
 	"mute/internal/telemetry"
 )
 
@@ -343,6 +346,104 @@ type LossTransportStats = sim.LossTransportStats
 // concealment mask.
 func PacketizeReference(ref []float64, lt LossTransport) ([]float64, []bool, LossTransportStats, error) {
 	return sim.PacketizeReference(ref, lt)
+}
+
+// --- Relay-outage resilience --------------------------------------------------
+
+// Outage schedules a relay blackout on a LossyLink: every frame offered
+// during [StartSlot, StartSlot+DurationSlots) is dropped, on top of the
+// link's stochastic impairments. Set LossParams.Outages to script relay
+// reboots deterministically.
+type Outage = stream.Outage
+
+// Fade schedules a deep-fade SNR ramp in the FM channel: a trapezoid
+// attenuation (ramp in, hold, ramp out) in dB over baseband samples. Set
+// ChannelParams.Fades to script analog-link fades deterministically.
+type Fade = rf.Fade
+
+// FMChannel configures the analog FM forwarding channel (SNR, CFO,
+// multipath, scheduled fades).
+type FMChannel = rf.ChannelParams
+
+// LocalCanceller is the conventional causal feedforward canceller
+// (internal/headphone): the Bose-class device the paper compares against,
+// and the degradation ladder's FALLBACK rung — it needs no wireless leg.
+type LocalCanceller = headphone.ANC
+
+// LocalCancellerConfig parameterizes a LocalCanceller.
+type LocalCancellerConfig = headphone.Config
+
+// DefaultLocalCancellerConfig returns the standard local-canceller tuning
+// for a sample rate and estimated secondary path.
+func DefaultLocalCancellerConfig(sampleRate float64, secondaryPath []float64) LocalCancellerConfig {
+	return headphone.DefaultConfig(sampleRate, secondaryPath)
+}
+
+// NewLocalCanceller builds a causal fallback canceller.
+func NewLocalCanceller(cfg LocalCancellerConfig) (*LocalCanceller, error) {
+	return headphone.NewANC(cfg)
+}
+
+// Supervisor drives a Canceller through the relay-outage degradation
+// ladder: LANC → DEGRADED (shrunken non-causal window) → FALLBACK (local
+// causal canceller, warm-started from LANC's causal taps) → PASSTHROUGH,
+// with dwell, hysteresis, crossfades, and exponential-backoff
+// reacquisition probes. In simulation, set Params.Supervise instead.
+type Supervisor = supervisor.Supervisor
+
+// SupervisorConfig tunes the ladder's thresholds, dwells, and crossfade.
+type SupervisorConfig = supervisor.Config
+
+// SupervisorState is a ladder rung.
+type SupervisorState = supervisor.State
+
+// The ladder rungs, healthiest first.
+const (
+	StateLANC        = supervisor.StateLANC
+	StateDegraded    = supervisor.StateDegraded
+	StateFallback    = supervisor.StateFallback
+	StatePassthrough = supervisor.StatePassthrough
+)
+
+// SupervisorTransition is one recorded ladder move.
+type SupervisorTransition = supervisor.Transition
+
+// SupervisorReport summarizes a supervised run: transitions,
+// time-in-state, probe and warm-start counts.
+type SupervisorReport = supervisor.Report
+
+// DefaultSupervisorConfig returns the standard ladder tuning.
+func DefaultSupervisorConfig() SupervisorConfig { return supervisor.DefaultConfig() }
+
+// NewSupervisor wraps a canceller and its local fallback in the ladder.
+func NewSupervisor(cfg SupervisorConfig, lanc *Canceller, fallback *LocalCanceller) (*Supervisor, error) {
+	return supervisor.New(cfg, lanc, fallback)
+}
+
+// RelayTracker re-runs GCC-PHAT relay selection periodically over live
+// streams (Section 4.2's mobility story).
+type RelayTracker = relaysel.Tracker
+
+// RelayTrackerConfig parameterizes a RelayTracker.
+type RelayTrackerConfig = relaysel.TrackerConfig
+
+// NewRelayTracker builds a periodic relay re-selector.
+func NewRelayTracker(cfg RelayTrackerConfig) (*RelayTracker, error) {
+	return relaysel.NewTracker(cfg)
+}
+
+// Failover layers per-relay link health over the tracker's acoustic
+// preference: the acoustically best relay feeds the canceller while its
+// link is healthy, a healthier alternative takes over when it dies, and
+// the association returns once the preferred link recovers.
+type Failover = supervisor.Failover
+
+// FailoverConfig tunes the failover's health thresholds and dwell.
+type FailoverConfig = supervisor.FailoverConfig
+
+// NewFailover wraps a tracker (nil = relay 0 is the standing preference).
+func NewFailover(cfg FailoverConfig, tracker *RelayTracker) (*Failover, error) {
+	return supervisor.NewFailover(cfg, tracker)
 }
 
 // --- Observability ------------------------------------------------------------
