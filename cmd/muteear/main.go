@@ -22,6 +22,15 @@
 // causal taps), then to passthrough as the link dies — and probes its way
 // back up once frames flow again. Pair with muterelay's
 // -outage-at/-outage-dur flags to watch a scripted relay reboot.
+//
+// Drift-corrected mode (-drift-correct) slaves the received reference to
+// the local sample clock: a drift estimator fits the relay-vs-ear skew
+// from frame timestamps against wall-clock arrivals, and a continuous-rate
+// resampler between the jitter buffer and the canceller consumes input at
+// 1 + ppm·1e-6 samples per output sample. Pair with muterelay's -skew-ppm
+// flag to watch a detuned relay oscillator get cancelled anyway; with
+// -supervise, a skew beyond the supervisor's drift thresholds also walks
+// the degradation ladder.
 package main
 
 import (
@@ -44,6 +53,7 @@ func main() {
 		lookaheadMs = flag.Float64("lookahead-ms", 8, "simulated acoustic lookahead")
 		frame       = flag.Int("frame", 80, "samples per processing block")
 		lossAware   = flag.Bool("loss-aware", true, "freeze adaptation over concealed (lost) samples")
+		driftOn     = flag.Bool("drift-correct", false, "estimate relay clock skew and resample the reference to the local clock")
 		supervise   = flag.Bool("supervise", false, "run the degradation ladder: demote to a local causal fallback (and recover) as relay link health changes")
 		traceOut    = flag.String("trace-out", "", "write a per-stage JSONL trace to this file")
 		debugAddr   = flag.String("debug-addr", "", "serve expvar (/debug/vars) and pprof on this address")
@@ -58,9 +68,15 @@ func main() {
 	defer rx.Close()
 	fmt.Printf("muteear: listening on %s\n", rx.Addr())
 
+	// The drift resampler's cubic kernel reads up to 2 samples of future,
+	// a real debit against the acoustic lookahead (see OBSERVABILITY.md).
+	driftGuard := 0
+	if *driftOn {
+		driftGuard = 2
+	}
 	lookahead := int(*lookaheadMs / 1000 * fs)
-	if lookahead < 5 {
-		lookahead = 5
+	if lookahead < 5+driftGuard {
+		lookahead = 5 + driftGuard
 	}
 	// Simulated acoustic leg: the same waveform the radio forwarded,
 	// arriving `lookahead` samples later through a small multipath channel.
@@ -72,7 +88,8 @@ func main() {
 	secPath := []float64{0.85, 0.22, 0.06}
 	secChannel := dsp.NewStreamConvolver(secPath)
 
-	budget, err := mute.PlanBudget(lookahead, mute.PipelineDelays{ADC: 1, DSP: 1, DAC: 1, Speaker: 1})
+	pd := mute.PipelineDelays{ADC: 1, DSP: 1, DAC: 1, Speaker: 1}
+	budget, err := mute.PlanBudget(lookahead-driftGuard, pd)
 	if err != nil {
 		fatal(err)
 	}
@@ -91,8 +108,7 @@ func main() {
 	// goes (its entries sum to `lookahead` by construction); the optional
 	// trace records per-block pipeline state on the sample clock; the
 	// registry backs the expvar endpoint.
-	pd := mute.PipelineDelays{ADC: 1, DSP: 1, DAC: 1, Speaker: 1}
-	report := earBudget(fs, lookahead, pd, budget.UsableTaps)
+	report := earBudget(fs, lookahead, pd, budget.UsableTaps, driftGuard)
 	fmt.Print(report.Text())
 	var tr *mute.Trace
 	if *traceOut != "" {
@@ -112,6 +128,20 @@ func main() {
 			fatal(err)
 		}
 	}
+	var est *mute.DriftEstimator
+	var rs *mute.VariRateResampler
+	if *driftOn {
+		// Live arrivals carry ~0.5 ms of scheduler jitter, so the slope
+		// needs a much longer baseline than the simulator's exact-clock
+		// default: 512 frames pairs observations ~2.5 s apart, putting the
+		// per-pair noise floor near 100 ppm before the median and loop
+		// filter grind it down further.
+		est, err = mute.NewDriftEstimator(mute.DriftConfig{WindowFrames: 512, SlopeGain: 0.02})
+		if err != nil {
+			fatal(err)
+		}
+		rs = mute.NewVariRateResampler()
+	}
 	reg := mute.NewTelemetry()
 	if *debugAddr != "" {
 		mute.PublishTelemetry("mute", reg)
@@ -123,24 +153,63 @@ func main() {
 		fmt.Printf("muteear: expvar/pprof on http://%s/debug/vars\n", *debugAddr)
 	}
 
-	deadline := time.Now().Add(time.Duration(*duration * float64(time.Second)))
+	start := time.Now()
+	if est != nil {
+		// Every direct data frame contributes one (relay timestamp,
+		// ear-clock arrival) pair; the wall clock in sample units is the
+		// ear's oscillator as far as the slope fit is concerned.
+		rx.SetFrameObserver(func(ts uint64) {
+			est.Observe(ts, time.Since(start).Seconds()*fs)
+		})
+	}
+	deadline := start.Add(time.Duration(*duration * float64(time.Second)))
+	interval := time.Duration(float64(*frame) / fs * float64(time.Second))
 	block := make([]float64, *frame)
 	mask := make([]bool, *frame)
 	var noisePow, resPow float64
 	var samples int
 	e := 0.0
+	next := start
 	for time.Now().Before(deadline) {
-		// Drain pending datagrams, then process one block.
+		// Receive until the next block boundary: Poll blocks until a
+		// datagram lands or the boundary passes, so the poll window itself
+		// paces the loop at the audio clock AND every frame is observed at
+		// its true arrival instant — the x-axis of the drift estimator's
+		// slope fit. (Draining once per block and sleeping would batch
+		// arrivals at the ear's loop period and bias the fit.)
+		next = next.Add(interval)
 		for {
-			got, err := rx.Poll(time.Millisecond)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "muteear: drop:", err)
-			}
-			if !got {
+			d := time.Until(next)
+			if d <= 0 {
 				break
 			}
+			if _, err := rx.Poll(d); err != nil {
+				fmt.Fprintln(os.Stderr, "muteear: drop:", err)
+			}
 		}
-		rx.PopMask(block, mask)
+		if rs != nil {
+			// Slave the reference to the local clock: consume jitter-buffer
+			// output at the estimated relay rate, one output sample at a
+			// time. Until the estimator locks the rate stays exactly 1 and
+			// the resampler is a bit-exact passthrough.
+			if est.Locked() {
+				rs.SetRate(1 + est.PPM()*1e-6)
+			}
+			var v [1]float64
+			var m [1]bool
+			for i := range block {
+				for !rs.Ready() {
+					rx.PopMask(v[:], m[:])
+					rs.Push(v[0], m[0])
+				}
+				block[i], mask[i], _ = rs.Pop()
+			}
+			if sup != nil {
+				sup.ObserveDrift(est.PPM(), est.Estimable(time.Since(start).Seconds()*fs))
+			}
+		} else {
+			rx.PopMask(block, mask)
+		}
 		var blockRes float64
 		for i, x := range block {
 			// The acoustic wavefront for this instant left the source
@@ -163,6 +232,9 @@ func main() {
 		}
 		if tr != nil {
 			traceBlock(tr, int64(samples), rx, lanc, blockRes, *frame)
+			if est != nil {
+				traceDrift(tr, int64(samples), est, rs.Rate())
+			}
 			if sup != nil {
 				sup.TraceState(tr, int64(samples))
 			}
@@ -170,7 +242,10 @@ func main() {
 		reg.Counter("ear.samples").Add(int64(*frame))
 		reg.Gauge("ear.tap_energy").Set(lanc.TapEnergy())
 		reg.Gauge("ear.buffered_frames").Set(float64(rx.Buffered()))
-		time.Sleep(time.Duration(float64(*frame) / fs * float64(time.Second)))
+		if est != nil {
+			reg.Gauge("drift.est_ppm").Set(est.PPM())
+			reg.Gauge("drift.rate_ppm").Set((rs.Rate() - 1) * 1e6)
+		}
 	}
 	st := rx.Stats()
 	st.Publish(reg, "stream.")
@@ -182,6 +257,10 @@ func main() {
 	}
 	fmt.Printf("muteear: %d samples, %d frames received (%d late, %d dropped), %d samples concealed, %d frames FEC-recovered\n",
 		samples, st.FramesReceived, st.FramesLate, st.FramesDropped, st.SamplesConcealed, rx.Recovered())
+	if est != nil {
+		fmt.Printf("muteear: drift estimate %+.1f ppm from %d frames (locked=%v, resampler rate %.6f)\n",
+			est.PPM(), est.Observations(), est.Locked(), rs.Rate())
+	}
 	if sup != nil {
 		rep := sup.Report()
 		fmt.Printf("muteear: supervisor ended in %s after %d transitions (%d probes, %d warm starts)\n",

@@ -6,24 +6,45 @@ import (
 
 // earBudget itemizes where muteear's configured lookahead goes: the
 // processing pipeline (ADC/DSP/DAC/speaker), the non-causal taps the
-// canceller was granted, and whatever is left unused. The entries always
-// sum to the configured lookahead exactly (the golden invariant checked by
-// TestEarBudgetBalanced and, end to end, by the -trace-out JSONL), so the
-// budget report is an accounting identity, not an estimate.
-func earBudget(fs float64, lookahead int, pd mute.PipelineDelays, nTaps int) *mute.BudgetReport {
+// canceller was granted, the drift resampler's interpolation future (when
+// -drift-correct holds samples back for the cubic kernel), and whatever is
+// left unused. The entries always sum to the configured lookahead exactly
+// (the golden invariant checked by TestEarBudgetBalanced and, end to end,
+// by the -trace-out JSONL), so the budget report is an accounting
+// identity, not an estimate.
+func earBudget(fs float64, lookahead int, pd mute.PipelineDelays, nTaps, driftGuard int) *mute.BudgetReport {
 	b := mute.NewBudgetReport(fs, lookahead)
 	b.Add("pipeline.adc", pd.ADC)
 	b.Add("pipeline.dsp", pd.DSP)
 	b.Add("pipeline.dac", pd.DAC)
 	b.Add("pipeline.speaker", pd.Speaker)
+	if driftGuard > 0 {
+		b.Add("drift.resampler", driftGuard)
+	}
 	b.Add("lanc.noncausal_taps", nTaps)
-	rest := lookahead - pd.ADC - pd.DSP - pd.DAC - pd.Speaker - nTaps
+	rest := lookahead - pd.ADC - pd.DSP - pd.DAC - pd.Speaker - driftGuard - nTaps
 	if rest >= 0 {
 		b.Add("unused", rest)
 	} else {
 		b.Add("overdrawn", rest)
 	}
 	return b
+}
+
+// traceDrift records the drift stage's per-block state: the filtered skew
+// estimate and the resampler rate it steers, on the same sample clock as
+// the rest of the trace (keys match the simulator's drift stage).
+func traceDrift(tr *mute.Trace, t int64, est *mute.DriftEstimator, rate float64) {
+	locked := 0.0
+	if est.Locked() {
+		locked = 1
+	}
+	tr.Record(t, mute.StageDrift, "estimator", map[string]float64{
+		"est_ppm":  est.PPM(),
+		"raw_ppm":  est.RawPPM(),
+		"rate_ppm": (rate - 1) * 1e6,
+		"locked":   locked,
+	})
 }
 
 // traceBlock records one processing block's view of the live pipeline:

@@ -17,7 +17,7 @@ func TestEarBudgetBalanced(t *testing.T) {
 		if err != nil {
 			t.Fatalf("PlanBudget(%d): %v", lookahead, err)
 		}
-		rep := earBudget(8000, lookahead, pd, budget.UsableTaps)
+		rep := earBudget(8000, lookahead, pd, budget.UsableTaps, 0)
 		if !rep.Balanced() {
 			t.Errorf("lookahead %d: budget unbalanced: spent %d", lookahead, rep.SpentSamples())
 		}
@@ -45,7 +45,7 @@ func TestEarBudgetBalanced(t *testing.T) {
 // silently mis-summed: the overdrawn entry keeps the identity intact.
 func TestEarBudgetOverdrawn(t *testing.T) {
 	pd := mute.PipelineDelays{ADC: 1, DSP: 1, DAC: 1, Speaker: 1}
-	rep := earBudget(8000, 10, pd, 32) // 4 + 32 > 10
+	rep := earBudget(8000, 10, pd, 32, 0) // 4 + 32 > 10
 	if got := rep.SpentSamples(); got != 10 {
 		t.Fatalf("overdrawn budget sums to %d, want 10", got)
 	}
@@ -57,6 +57,58 @@ func TestEarBudgetOverdrawn(t *testing.T) {
 	}
 	if !found {
 		t.Fatal("no negative overdrawn entry in an over-granted budget")
+	}
+}
+
+// TestEarBudgetDriftGuard checks the -drift-correct debit: the resampler's
+// 2-sample interpolation future appears as its own entry and the identity
+// still holds when taps were planned on the reduced grant.
+func TestEarBudgetDriftGuard(t *testing.T) {
+	pd := mute.PipelineDelays{ADC: 1, DSP: 1, DAC: 1, Speaker: 1}
+	const lookahead, guard = 64, 2
+	budget, err := mute.PlanBudget(lookahead-guard, pd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := earBudget(8000, lookahead, pd, budget.UsableTaps, guard)
+	if got := rep.SpentSamples(); got != lookahead {
+		t.Errorf("drift-guarded budget sums to %d, want %d", got, lookahead)
+	}
+	found := false
+	for _, e := range rep.Entries {
+		if e.Stage == "drift.resampler" && e.Samples == guard {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no drift.resampler entry in a drift-corrected budget")
+	}
+}
+
+// TestTraceDriftStage checks the drift recorder emits the estimator keys
+// the simulator's drift stage uses, on the caller's sample clock.
+func TestTraceDriftStage(t *testing.T) {
+	est, err := mute.NewDriftEstimator(mute.DriftConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := mute.NewTrace()
+	traceDrift(tr, 160, est, 1+150e-6)
+	evs := tr.Events()
+	if len(evs) != 1 {
+		t.Fatalf("%d events recorded, want 1", len(evs))
+	}
+	ev := evs[0]
+	if ev.Stage != mute.StageDrift || ev.T != 160 {
+		t.Errorf("event %s at t=%d, want %s at 160", ev.Stage, ev.T, mute.StageDrift)
+	}
+	for _, key := range []string{"est_ppm", "rate_ppm", "locked"} {
+		if _, ok := ev.Values[key]; !ok {
+			t.Errorf("drift event missing key %q", key)
+		}
+	}
+	if got := ev.Values["rate_ppm"]; got < 149 || got > 151 {
+		t.Errorf("rate_ppm = %g, want ~150", got)
 	}
 }
 

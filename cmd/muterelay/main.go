@@ -23,6 +23,14 @@
 // recovering after the link returns:
 //
 //	muterelay -dest 127.0.0.1:9950 -duration 10 -outage-at 4 -outage-dur 2
+//
+// The -skew-ppm/-skew-wander flags run the relay's sample clock off-rate:
+// frame pacing follows a skewed oscillator (optionally with a seeded
+// random-walk wander), so the timestamps — which count relay samples —
+// drift against the ear's clock. A muteear running with -drift-correct
+// estimates the skew from the arriving stream and resamples it away:
+//
+//	muterelay -dest 127.0.0.1:9950 -duration 30 -skew-ppm 150
 package main
 
 import (
@@ -55,6 +63,8 @@ func main() {
 		impairSeed = flag.Uint64("impair-seed", 1, "fault-injector seed")
 		outageAt   = flag.Float64("outage-at", 0, "schedule a relay reboot at this many seconds into the stream")
 		outageDur  = flag.Float64("outage-dur", 0, "reboot blackout length in seconds (0 = no outage)")
+		skewPPM    = flag.Float64("skew-ppm", 0, "oscillator skew in ppm (positive = relay clock fast); paces frames off-rate")
+		skewWander = flag.Float64("skew-wander", 0, "oscillator wander: random-walk step sigma in ppm (seeded by -impair-seed)")
 	)
 	flag.Parse()
 
@@ -114,6 +124,21 @@ func main() {
 		tx.Impair(link)
 	}
 
+	var skew *mute.ClockSkew
+	if *skewPPM != 0 || *skewWander != 0 {
+		skew, err = mute.NewClockSkew(mute.SkewParams{
+			Seed:      *impairSeed,
+			PPM:       *skewPPM,
+			WanderPPM: *skewWander,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		if !*realtime {
+			fmt.Fprintln(os.Stderr, "muterelay: -skew-ppm/-skew-wander pace the frame clock and have no effect without -realtime")
+		}
+	}
+
 	frames := int(*duration * fs / float64(*frame))
 	interval := time.Duration(float64(*frame) / fs * float64(time.Second))
 	fmt.Printf("muterelay: streaming %d frames of %d samples to %s\n", frames, *frame, *dest)
@@ -126,6 +151,16 @@ func main() {
 		}
 		if *realtime {
 			next := start.Add(time.Duration(i+1) * interval)
+			if skew != nil {
+				// The skewed oscillator finishes frame i when its clock has
+				// produced (i+1)·frame samples — Pos() wall seconds in. A
+				// fast relay (positive ppm) thus paces frames slightly
+				// early, drifting its timestamps ahead of the ear's clock.
+				for s := 0; s < *frame; s++ {
+					skew.Advance()
+				}
+				next = start.Add(time.Duration(skew.Pos() / fs * float64(time.Second)))
+			}
 			if d := time.Until(next); d > 0 {
 				time.Sleep(d)
 			}
@@ -138,6 +173,10 @@ func main() {
 		st := link.Stats()
 		fmt.Printf("muterelay: link impairments: offered %d, dropped %d (%d to outages), duplicated %d, delayed %d\n",
 			st.Offered, st.Dropped, st.OutageDropped, st.Duplicated, st.Delayed)
+	}
+	if skew != nil {
+		fmt.Printf("muterelay: oscillator skew %.1f ppm at end (configured %g ppm, wander sigma %g)\n",
+			skew.PPM(), *skewPPM, *skewWander)
 	}
 	fmt.Println("muterelay: done")
 }

@@ -168,10 +168,14 @@ type LANC struct {
 	// for which a concealed (zero-filled) reference still sits inside the
 	// gradient window; adaptation is frozen while it is non-zero.
 	// profileGuard does the same for the profiler's raw window, and
-	// rampLeft drives the linear step-size ramp after the guard expires.
+	// rampLeft drives the linear step-size ramp after the guard expires
+	// over rampLen samples (Config.RecoveryRamp for loss freezes; an
+	// explicit length for HoldAdaptation holds). The same guard also
+	// serves explicit HoldAdaptation freezes, which work without LossAware.
 	concealGuard int
 	profileGuard int
 	rampLeft     int
+	rampLen      int
 
 	// Profiling state.
 	classifier *profile.Classifier
@@ -253,11 +257,14 @@ func (l *LANC) PushMasked(x float64, real bool) {
 // the full gradient window [−L−ErrorDelay−1, +N] residence of the zero;
 // the profile guard spans the signature window.
 func (l *LANC) noteMask(real bool) {
-	if !l.cfg.LossAware {
-		return
-	}
+	// The conceal guard advances unconditionally so explicit
+	// HoldAdaptation freezes expire even without LossAware; the mask
+	// re-arm below stays loss-mode only.
 	if l.concealGuard > 0 {
 		l.concealGuard--
+	}
+	if !l.cfg.LossAware {
+		return
 	}
 	if l.profileGuard > 0 {
 		l.profileGuard--
@@ -268,6 +275,7 @@ func (l *LANC) noteMask(real bool) {
 			l.profileGuard = len(l.window)
 		}
 		l.rampLeft = l.cfg.RecoveryRamp
+		l.rampLen = l.cfg.RecoveryRamp
 	}
 }
 
@@ -277,18 +285,44 @@ func (l *LANC) noteMask(real bool) {
 // steady state. Calling it consumes one ramp step, so callers invoke it
 // exactly once per adapted sample.
 func (l *LANC) lossGain() float64 {
-	if !l.cfg.LossAware {
-		return 1
-	}
 	if l.concealGuard > 0 {
 		return 0
 	}
-	if l.rampLeft > 0 {
-		g := 1 - float64(l.rampLeft)/float64(l.cfg.RecoveryRamp)
+	if l.rampLeft > 0 && l.rampLen > 0 {
+		g := 1 - float64(l.rampLeft)/float64(l.rampLen)
 		l.rampLeft--
 		return g
 	}
 	return 1
+}
+
+// HoldAdaptation freezes adaptation for hold sample periods and ramps the
+// step size back linearly over ramp samples afterwards (ramp <= 0 selects
+// RecoveryRamp, or the loss-aware default when that is unset). The
+// drift-correction pipeline calls it when the reference resampler's rate
+// jumps — an oscillator step re-lock slews the alignment under the filter,
+// and adapting through the slew smears the taps the same way concealment
+// zeros would. Unlike the mask-driven freeze it works without
+// Config.LossAware; a LANC that is never held behaves bit-identically to
+// one without this method. An in-progress longer freeze is not shortened.
+func (l *LANC) HoldAdaptation(hold, ramp int) {
+	if hold <= 0 {
+		return
+	}
+	if ramp <= 0 {
+		ramp = l.cfg.RecoveryRamp
+		if ramp <= 0 {
+			ramp = l.cfg.NonCausalTaps + l.cfg.CausalTaps + 1
+			if ramp < 256 {
+				ramp = 256
+			}
+		}
+	}
+	if hold > l.concealGuard {
+		l.concealGuard = hold
+	}
+	l.rampLeft = ramp
+	l.rampLen = ramp
 }
 
 // pushSignal advances the reference and filtered-x buffers and maintains
@@ -556,6 +590,7 @@ func (l *LANC) Reset() {
 	l.concealGuard = 0
 	l.profileGuard = 0
 	l.rampLeft = 0
+	l.rampLen = 0
 	l.winFill = 0
 	l.hopCount = 0
 	l.smPrimed = false

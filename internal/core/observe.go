@@ -22,21 +22,19 @@ func (l *LANC) TapEnergy() float64 {
 // power normalization (before the loss gain is applied).
 func (l *LANC) EffectiveStep() float64 { return l.effectiveMu() }
 
-// LossState reports the loss-aware machinery's current posture without
+// LossState reports the freeze machinery's current posture — loss-aware
+// concealment freezes and explicit HoldAdaptation holds alike — without
 // consuming a ramp step: gain is the adaptation scale the next update
 // would see (0 while frozen, (0,1) while ramping back, 1 in steady
-// state), frozen is true while a concealed sample still contaminates the
-// gradient window, and rampLeft counts the post-recovery ramp samples
-// remaining. With LossAware off it reports (1, false, 0).
+// state), frozen is true while the freeze guard is armed, and rampLeft
+// counts the ramp samples remaining. With LossAware off and no hold
+// pending it reports (1, false, 0).
 func (l *LANC) LossState() (gain float64, frozen bool, rampLeft int) {
-	if !l.cfg.LossAware {
-		return 1, false, 0
-	}
 	if l.concealGuard > 0 {
 		return 0, true, l.rampLeft
 	}
-	if l.rampLeft > 0 {
-		return 1 - float64(l.rampLeft)/float64(l.cfg.RecoveryRamp), false, l.rampLeft
+	if l.rampLeft > 0 && l.rampLen > 0 {
+		return 1 - float64(l.rampLeft)/float64(l.rampLen), false, l.rampLeft
 	}
 	return 1, false, 0
 }

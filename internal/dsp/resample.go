@@ -21,7 +21,7 @@ func Resample(x []float64, srcRate, dstRate float64) ([]float64, error) {
 		return out, nil
 	}
 	ratio := dstRate / srcRate
-	outLen := int(float64(len(x)) * ratio)
+	outLen := int(math.Round(float64(len(x)) * ratio))
 	if outLen == 0 {
 		outLen = 1
 	}
@@ -32,12 +32,14 @@ func Resample(x []float64, srcRate, dstRate float64) ([]float64, error) {
 		if err != nil {
 			return nil, err
 		}
-		src = ConvolveSame(x, lp)
-		// Compensate the linear-phase group delay of the filter.
+		// Compensate the linear-phase group delay of the filter by
+		// convolving gd extra zero-padded samples and advancing by gd, so
+		// the tail carries the filter's natural decay instead of the
+		// zero-fill a plain shift would leave.
 		gd := 31
-		shifted := make([]float64, len(src))
-		copy(shifted, src[min(gd, len(src)):])
-		src = shifted
+		padded := make([]float64, len(x)+gd)
+		copy(padded, x)
+		src = ConvolveSame(padded, lp)[gd:]
 	}
 	const halfWidth = 16
 	out := make([]float64, outLen)

@@ -10,6 +10,7 @@ import (
 	"mute/internal/dsp"
 	"mute/internal/headphone"
 	"mute/internal/rf"
+	"mute/internal/stream"
 	"mute/internal/supervisor"
 	"mute/internal/telemetry"
 )
@@ -110,6 +111,22 @@ type Params struct {
 	// SupervisorConfig overrides the supervisor tuning when Supervise is
 	// set (nil = supervisor defaults).
 	SupervisorConfig *supervisor.Config
+
+	// ClockSkewPPM runs the relay on a skewed oscillator: its sample clock
+	// deviates from the ear's by this many parts per million (positive =
+	// relay fast). Any skew fault presupposes the packetized transport; a
+	// default LossTransport is synthesized when none is configured.
+	ClockSkewPPM float64
+	// ClockSkewWanderPPM adds a slow random walk (per-interval standard
+	// deviation, ppm) to the relay clock, seeded from Seed.
+	ClockSkewWanderPPM float64
+	// DriftCorrect inserts the drift estimator + adaptive resampler into
+	// the receive path (see LossTransport.DriftCorrect). On a clean clock
+	// the corrected run is bit-identical to the uncorrected one.
+	DriftCorrect bool
+	// DriftConfig overrides the drift estimator/loop tuning (nil =
+	// defaults).
+	DriftConfig *stream.DriftConfig
 
 	// CausalTaps is LANC's causal filter length L.
 	CausalTaps int
@@ -376,18 +393,47 @@ func Run(p Params, scheme Scheme) (*Result, error) {
 		// straight out of the lookahead budget below.
 		var mask []bool
 		prime := 0
+		skewed := p.ClockSkewPPM != 0 || p.ClockSkewWanderPPM != 0
+		var lt *LossTransport
 		if p.LossTransport != nil {
-			lt := *p.LossTransport
+			c := *p.LossTransport
+			lt = &c
+		} else if skewed || p.DriftCorrect {
+			// Clock faults presuppose the packetized transport; synthesize
+			// the default framing the drift experiments use.
+			lt = &LossTransport{FrameSamples: 40, PrimeFrames: 1, LossAware: true}
+		}
+		driftGuard := 0
+		frameN := 0
+		var drift *DriftReport
+		if lt != nil {
 			if lt.Trace == nil {
 				// Inherit the run's trace so the stream/lookahead stages
 				// land in the same timeline as the canceller's.
 				lt.Trace = p.Trace
 			}
-			recv, m, tstats, err := PacketizeReference(forwarded, lt)
+			if skewed && lt.Skew == nil {
+				lt.Skew = &stream.SkewParams{
+					Seed:      p.Seed + 41,
+					PPM:       p.ClockSkewPPM,
+					WanderPPM: p.ClockSkewWanderPPM,
+				}
+			}
+			if p.DriftCorrect {
+				lt.DriftCorrect = true
+			}
+			if lt.Drift == nil {
+				lt.Drift = p.DriftConfig
+			}
+			recv, m, tstats, err := PacketizeReference(forwarded, *lt)
 			if err != nil {
 				return nil, err
 			}
-			prime = p.LossTransport.PrimeSamples()
+			prime = lt.PrimeSamples()
+			frameN = lt.FrameSamples
+			if frameN == 0 {
+				frameN = 80
+			}
 			shifted := make([]float64, n)
 			mask = make([]bool, n)
 			for t := prime; t < n; t++ {
@@ -396,8 +442,18 @@ func Run(p Params, scheme Scheme) (*Result, error) {
 			}
 			forwarded = shifted
 			res.Transport = &tstats
+			drift = tstats.Drift
+			if lt.DriftCorrect && lt.Skew != nil && lt.Skew.Enabled() {
+				// The resampler's cubic kernel reads up to two samples of
+				// future at fractional positions; with an actual skew in
+				// play those positions are fractional, so the guard comes
+				// out of the lookahead budget. On a clean clock positions
+				// stay integral and the guard — like the resampler — is
+				// free.
+				driftGuard = 2
+			}
 		}
-		la := res.LookaheadSamples - p.ExtraReferenceDelay - prime
+		la := res.LookaheadSamples - p.ExtraReferenceDelay - prime - driftGuard
 		if la < 0 {
 			la = 0
 		}
@@ -411,7 +467,7 @@ func Run(p Params, scheme Scheme) (*Result, error) {
 		}
 		res.Budget = budget
 		res.UsedNonCausalTaps = nTaps
-		res.BudgetSpend = budgetSpend(fs, res.LookaheadSamples, prime, p.ExtraReferenceDelay, p.Pipeline, nTaps)
+		res.BudgetSpend = budgetSpend(fs, res.LookaheadSamples, prime, p.ExtraReferenceDelay, driftGuard, p.Pipeline, nTaps)
 		res.BudgetSpend.Record(p.Trace)
 		cfg := core.Config{
 			NonCausalTaps:    nTaps,
@@ -427,9 +483,9 @@ func Run(p Params, scheme Scheme) (*Result, error) {
 			MaxProfiles:      p.MaxProfiles,
 			SampleRate:       fs,
 		}
-		if p.LossTransport != nil {
-			cfg.LossAware = p.LossTransport.LossAware
-			cfg.RecoveryRamp = p.LossTransport.RecoveryRamp
+		if lt != nil {
+			cfg.LossAware = lt.LossAware
+			cfg.RecoveryRamp = lt.RecoveryRamp
 		}
 		lanc, err := core.New(cfg)
 		if err != nil {
@@ -456,8 +512,33 @@ func Run(p Params, scheme Scheme) (*Result, error) {
 				return nil, err
 			}
 		}
+		// Drift-stage hooks replayed onto the loop clock: adaptation holds
+		// at suspected oscillator steps (the alignment is about to slew),
+		// and per-window estimator state feeding the supervisor's health
+		// view. Both land at window time plus the playout shift.
+		var holdAt map[int]bool
+		if drift != nil && len(drift.RateJumps) > 0 {
+			holdAt = make(map[int]bool, len(drift.RateJumps))
+			for _, j := range drift.RateJumps {
+				holdAt[int(j)+prime] = true
+			}
+		}
+		var wins []DriftWindow
+		if drift != nil && sup != nil {
+			wins = drift.Windows
+		}
+		wi := 0
 		e := 0.0
 		for t := 0; t < n; t++ {
+			for wi < len(wins) && int(wins[wi].AtSample)+prime <= t {
+				if int(wins[wi].AtSample)+prime == t {
+					sup.ObserveDrift(wins[wi].PPM, wins[wi].Locked)
+				}
+				wi++
+			}
+			if holdAt[t] {
+				lanc.HoldAdaptation(2*frameN, 0)
+			}
 			if p.Trace != nil && t%traceBlock == 0 {
 				traceLANC(p.Trace, int64(t), lanc)
 				if sup != nil {
@@ -524,9 +605,12 @@ func Run(p Params, scheme Scheme) (*Result, error) {
 // deliberate delayed-line injection, the Equation 3 pipeline, the
 // non-causal taps, and the slack left over (negative "overdrawn" when the
 // deadline is missed), so the entries always sum to the lookahead.
-func budgetSpend(fs float64, lookahead, prime, extraDelay int, pipe core.PipelineDelays, nTaps int) *telemetry.BudgetReport {
+func budgetSpend(fs float64, lookahead, prime, extraDelay, driftGuard int, pipe core.PipelineDelays, nTaps int) *telemetry.BudgetReport {
 	b := telemetry.NewBudgetReport(fs, lookahead)
 	b.Add("transport.prime", prime)
+	if driftGuard > 0 {
+		b.Add("drift.resampler", driftGuard)
+	}
 	b.Add("reference.extra_delay", extraDelay)
 	b.Add("pipeline.adc", pipe.ADC)
 	b.Add("pipeline.dsp", pipe.DSP)
@@ -590,6 +674,12 @@ func instrumentRun(reg *telemetry.Registry, r *Result, n int) {
 		r.Transport.Jitter.Publish(reg, "stream.")
 		r.Transport.Link.Publish(reg, "link.")
 		reg.Counter("stream.fec_recovered").Add(int64(r.Transport.FECRecovered))
+		if d := r.Transport.Drift; d != nil {
+			reg.Gauge("drift.est_ppm").Set(d.FinalPPM)
+			reg.Gauge("drift.max_abs_ppm").Set(d.MaxAbsPPM)
+			reg.Gauge("drift.final_occ_err").Set(d.FinalOccErr)
+			reg.Counter("drift.rate_jumps").Add(int64(len(d.RateJumps)))
+		}
 	}
 	if r.BudgetSpend != nil {
 		for _, e := range r.BudgetSpend.Entries {

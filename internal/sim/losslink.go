@@ -35,6 +35,19 @@ type LossTransport struct {
 	// LossAware selects the canceller's concealment-freeze mode
 	// (core.Config.LossAware) when the transport is wired into Run.
 	LossAware bool
+	// Skew, when non-nil, runs the relay on a skewed oscillator: frames
+	// carry relay-clock timestamps while delivery and playout ride the
+	// ear clock (see stream.ClockSkew). Composes with Link faults. A
+	// zero-skew configuration is bit-identical to leaving Skew nil.
+	Skew *stream.SkewParams
+	// DriftCorrect inserts the drift estimator + adaptive fractional
+	// resampler between the jitter buffer and the playout stream, keeping
+	// the reference sample-aligned to the ear clock under Skew. With no
+	// actual skew the correction path is bit-identical to the plain
+	// transport (pinned by TestDriftCorrectCleanClockIdentity).
+	DriftCorrect bool
+	// Drift overrides the estimator/loop tuning (nil = defaults).
+	Drift *stream.DriftConfig
 	// RecoveryRamp overrides the canceller's post-loss ramp (0 = default).
 	RecoveryRamp int
 	// Trace, when non-nil, receives per-playout-window stream events
@@ -63,6 +76,11 @@ func (lt LossTransport) withDefaults() (LossTransport, error) {
 	if lt.PrimeFrames < 0 {
 		return lt, fmt.Errorf("sim: negative prime depth %d", lt.PrimeFrames)
 	}
+	if lt.Skew != nil {
+		if err := lt.Skew.Validate(); err != nil {
+			return lt, err
+		}
+	}
 	return lt, nil
 }
 
@@ -84,6 +102,9 @@ type LossTransportStats struct {
 	Link stream.LinkStats
 	// FECRecovered counts frames reconstructed from parity.
 	FECRecovered uint64
+	// Drift carries the clock-drift stage's report when the transport ran
+	// with Skew or DriftCorrect (nil otherwise).
+	Drift *DriftReport
 }
 
 // PacketizeReference pushes ref through the packetized transport and
@@ -97,6 +118,12 @@ func PacketizeReference(ref []float64, lt LossTransport) ([]float64, []bool, Los
 	lt, err := lt.withDefaults()
 	if err != nil {
 		return nil, nil, stats, err
+	}
+	if lt.Skew != nil || lt.DriftCorrect {
+		// The skewed-clock transport generalizes this one; at zero skew
+		// its event interleaving and playout reduce to the loop below
+		// bit for bit.
+		return packetizeSkewed(ref, lt)
 	}
 	link, err := stream.NewLossyLink(lt.Link)
 	if err != nil {

@@ -1,0 +1,142 @@
+package stream
+
+import (
+	"fmt"
+	"sort"
+
+	"mute/internal/audio"
+)
+
+// SkewStep schedules an instantaneous oscillator frequency change —
+// a temperature shock, a PLL re-lock — at a relay-clock sample index.
+type SkewStep struct {
+	// AtSample is the relay-clock sample index at which the step applies.
+	AtSample uint64
+	// DeltaPPM is added to the skew from that sample on.
+	DeltaPPM float64
+}
+
+// SkewParams configures a ClockSkew fault injector: the relay's sample
+// clock runs at fs·(1 + PPM·1e-6) while the ear's runs at fs, plus an
+// optional slow random walk (crystal temperature drift) and scheduled
+// steps. The zero value is a disabled injector — an exact identity.
+type SkewParams struct {
+	// Seed drives the wander random walk (unused when WanderPPM is 0).
+	Seed uint64
+	// PPM is the constant relay-vs-ear frequency offset in parts per
+	// million. Positive = the relay clock runs fast.
+	PPM float64
+	// WanderPPM is the per-interval standard deviation of a random walk
+	// added to PPM (0 = no wander).
+	WanderPPM float64
+	// WanderInterval is how often, in relay samples, the walk takes a step
+	// (default 400 = 50 ms at 8 kHz).
+	WanderInterval int
+	// MaxPPM clamps the total instantaneous skew magnitude (default 1000).
+	MaxPPM float64
+	// Steps schedules instantaneous frequency changes.
+	Steps []SkewStep
+}
+
+// Enabled reports whether the parameters describe any actual skew.
+func (p SkewParams) Enabled() bool {
+	return p.PPM != 0 || p.WanderPPM != 0 || len(p.Steps) > 0
+}
+
+// Validate checks the parameters.
+func (p SkewParams) Validate() error {
+	if p.WanderPPM < 0 {
+		return fmt.Errorf("stream: negative skew wander %g", p.WanderPPM)
+	}
+	if p.WanderInterval < 0 {
+		return fmt.Errorf("stream: negative wander interval %d", p.WanderInterval)
+	}
+	if p.MaxPPM < 0 {
+		return fmt.Errorf("stream: negative skew clamp %g", p.MaxPPM)
+	}
+	max := p.MaxPPM
+	if max == 0 {
+		max = 1000
+	}
+	if p.PPM > max || p.PPM < -max {
+		return fmt.Errorf("stream: skew %g ppm exceeds clamp %g", p.PPM, max)
+	}
+	return nil
+}
+
+// ClockSkew models the relay's skewed oscillator as seen from the ear
+// clock. The relay's r-th sample is captured at ear-clock position
+// Pos(r), where consecutive samples are 1/(1+skew·1e-6) ear samples
+// apart: a fast relay clock (positive ppm) packs its samples into less
+// ear time, so its timestamps — which count relay samples — run ahead of
+// the ear's.
+//
+// At zero configured skew the increment is exactly 1.0, so positions are
+// exact integers and anything built on ClockSkew degenerates to the
+// unskewed pipeline bit for bit. The wander walk draws from a seeded RNG
+// only when WanderPPM is non-zero, composing with LossyLink without
+// disturbing its draw order.
+type ClockSkew struct {
+	p       SkewParams
+	rng     *audio.RNG
+	r       uint64  // relay sample index of the next Advance
+	pos     float64 // ear-clock position of relay sample r
+	wander  float64 // random-walk ppm component
+	stepAcc float64 // accumulated Steps ppm
+	stepIdx int
+	maxPPM  float64
+}
+
+// NewClockSkew creates the injector. Steps are applied in AtSample order
+// regardless of slice order.
+func NewClockSkew(p SkewParams) (*ClockSkew, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if p.WanderInterval == 0 {
+		p.WanderInterval = 400
+	}
+	steps := append([]SkewStep(nil), p.Steps...)
+	sort.Slice(steps, func(i, j int) bool { return steps[i].AtSample < steps[j].AtSample })
+	p.Steps = steps
+	c := &ClockSkew{p: p, maxPPM: p.MaxPPM}
+	if c.maxPPM == 0 {
+		c.maxPPM = 1000
+	}
+	if p.WanderPPM > 0 {
+		c.rng = audio.NewRNG(p.Seed*0x9e3779b9 + 0x7f4a7c15)
+	}
+	return c, nil
+}
+
+// PPM returns the instantaneous relay-vs-ear skew, clamped to MaxPPM.
+func (c *ClockSkew) PPM() float64 {
+	s := c.p.PPM + c.wander + c.stepAcc
+	if s > c.maxPPM {
+		s = c.maxPPM
+	} else if s < -c.maxPPM {
+		s = -c.maxPPM
+	}
+	return s
+}
+
+// Pos returns the ear-clock position of the next relay sample (the one
+// the next Advance captures) without advancing.
+func (c *ClockSkew) Pos() float64 { return c.pos }
+
+// Advance captures one relay sample: it returns the sample's ear-clock
+// position and moves the relay clock forward one skewed sample period.
+// The first call returns exactly 0.
+func (c *ClockSkew) Advance() float64 {
+	for c.stepIdx < len(c.p.Steps) && c.p.Steps[c.stepIdx].AtSample <= c.r {
+		c.stepAcc += c.p.Steps[c.stepIdx].DeltaPPM
+		c.stepIdx++
+	}
+	if c.rng != nil && c.r%uint64(c.p.WanderInterval) == 0 {
+		c.wander += c.p.WanderPPM * c.rng.Norm()
+	}
+	p := c.pos
+	c.pos += 1 / (1 + c.PPM()*1e-6)
+	c.r++
+	return p
+}

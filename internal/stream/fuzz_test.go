@@ -259,3 +259,101 @@ func FuzzFECDecoder(f *testing.F) {
 		}
 	})
 }
+
+// FuzzJitterBufferSkew hardens the buffer against the input a skewed,
+// re-stamping relay produces: unaligned timestamps, duplicates, frames
+// that overlap or shadow earlier coverage, and the single-sample pops the
+// drift-correction resampler issues. Beyond FuzzJitterBufferPopMask's
+// frame-aligned windows, it checks the documented tie-breaks hold under
+// arbitrary interleavings: delivered samples always carry the canonical
+// value for their capture index (whichever overlapping frame supplied
+// them), the playout clock advances by exactly the popped length, and the
+// counters never drift from the clock.
+func FuzzJitterBufferSkew(f *testing.F) {
+	f.Add([]byte{0, 0, 0, 4, 1, 3, 0, 0, 1, 4, 1, 7})
+	f.Add([]byte{0, 0, 5, 8, 0, 0, 5, 8, 1, 9, 2, 31})
+	f.Add([]byte{3, 7, 0, 0, 9, 6, 1, 2, 0, 1, 0, 6, 2, 15, 1, 1})
+	f.Add([]byte("skewed relay restamping torture"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const depth = 6
+		jb, err := NewJitterBuffer(depth)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var clock uint64
+		started := false
+		pos := 0
+		next := func() byte {
+			if pos >= len(data) {
+				return 0
+			}
+			b := data[pos]
+			pos++
+			return b
+		}
+		popCheck := func(n int) {
+			dst := make([]float64, n)
+			mask := make([]bool, n)
+			before := jb.Stats()
+			real := jb.PopMask(dst, mask)
+			after := jb.Stats()
+			trueCount := 0
+			for i := 0; i < n; i++ {
+				if mask[i] {
+					trueCount++
+					if want := canonical(clock + uint64(i)); dst[i] != want {
+						t.Fatalf("real sample at capture index %d = %v, want canonical %v",
+							clock+uint64(i), dst[i], want)
+					}
+				} else if dst[i] != 0 {
+					t.Fatalf("concealed sample %d = %v, want 0", i, dst[i])
+				}
+			}
+			if real != trueCount {
+				t.Fatalf("PopMask returned %d, mask has %d true entries", real, trueCount)
+			}
+			if started {
+				clock += uint64(n)
+				if got := jb.PlayoutClock(); got != clock {
+					t.Fatalf("playout clock %d, want %d", got, clock)
+				}
+				if d := (after.SamplesDelivered + after.SamplesConcealed) -
+					(before.SamplesDelivered + before.SamplesConcealed); d != uint64(n) {
+					t.Fatalf("counters advanced %d for a %d-sample pop", d, n)
+				}
+			} else if real != 0 {
+				t.Fatal("pop before the clock started delivered samples")
+			}
+		}
+		for ops := 0; pos < len(data) && ops < 256; ops++ {
+			switch next() % 4 {
+			case 0: // push an arbitrarily re-stamped frame
+				ts := uint64(next())<<8 | uint64(next()) // unaligned on purpose
+				n := int(next())%16 + 1
+				samples := make([]float64, n)
+				for i := range samples {
+					samples[i] = canonical(ts + uint64(i))
+				}
+				jb.Push(&Frame{Timestamp: ts, Samples: samples})
+				if !started {
+					clock, started = ts, true
+				}
+			case 1: // the drift path's single-sample pops
+				for k := int(next())%8 + 1; k > 0; k-- {
+					popCheck(1)
+				}
+			case 2: // a bulk pop window
+				popCheck(int(next())%32 + 1)
+			case 3:
+				ts := uint64(next())
+				jb.Anchor(ts)
+				if !started {
+					clock, started = ts, true
+				}
+			}
+			if jb.Buffered() > depth {
+				t.Fatalf("buffer holds %d frames, depth is %d", jb.Buffered(), depth)
+			}
+		}
+	})
+}

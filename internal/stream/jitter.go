@@ -71,6 +71,16 @@ func (j *JitterBuffer) Anchor(ts uint64) {
 // ignored, and a full buffer evicts its oldest frame (counted as dropped,
 // not late — it arrived on time) to bound memory; only a true return
 // means the frame's samples can still reach a Pop.
+//
+// Tie-break under skewed or non-monotonic re-stamping: for two frames
+// with the same timestamp, the first received wins and the later one is
+// counted FramesDuplicate; for overlapping timestamp ranges, the earliest
+// timestamp wins the overlapped samples and a later-starting frame
+// contributes only its non-overlapped suffix (see PopMask's ordered
+// walk). A frame wholly shadowed by earlier coverage is discarded when
+// the walk passes it. Playout order is always by timestamp, never by
+// arrival, so the clock PopMask advances is monotone regardless of what
+// the re-stamped input does.
 func (j *JitterBuffer) Push(f *Frame) bool {
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -168,6 +178,15 @@ func (j *JitterBuffer) PopMask(dst []float64, mask []bool) int {
 	j.stats.SamplesConcealed += uint64(len(dst) - real)
 	j.next += uint64(len(dst))
 	return real
+}
+
+// PlayoutClock returns the capture-clock index of the next sample PopMask
+// will hand out — the consumer-side view of how far into the relay's
+// clock the playout has advanced. Zero before the clock has started.
+func (j *JitterBuffer) PlayoutClock() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.next
 }
 
 // Buffered returns the number of frames currently held.

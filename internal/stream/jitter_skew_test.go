@@ -1,0 +1,122 @@
+package stream
+
+import "testing"
+
+// These tests pin the tie-break rules Push documents for skewed or
+// non-monotonic re-stamping — the input the drift pipeline's single-sample
+// pops feed on.
+
+// TestJitterBufferDuplicateTimestampFirstWins: two frames with the same
+// timestamp keep the first arrival's samples; the later one is counted a
+// duplicate and never reaches a pop.
+func TestJitterBufferDuplicateTimestampFirstWins(t *testing.T) {
+	jb, err := NewJitterBuffer(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !jb.Push(&Frame{Timestamp: 0, Samples: []float64{1, 1, 1, 1}}) {
+		t.Fatal("first frame rejected")
+	}
+	if jb.Push(&Frame{Timestamp: 0, Samples: []float64{9, 9, 9, 9}}) {
+		t.Fatal("duplicate-timestamp frame accepted")
+	}
+	if s := jb.Stats(); s.FramesDuplicate != 1 {
+		t.Errorf("FramesDuplicate = %d, want 1", s.FramesDuplicate)
+	}
+	dst := make([]float64, 4)
+	jb.Pop(dst)
+	for i, v := range dst {
+		if v != 1 {
+			t.Errorf("sample %d = %g, want the first arrival's 1", i, v)
+		}
+	}
+}
+
+// TestJitterBufferOverlapSuffixWins: when a later-starting frame overlaps
+// an earlier one's range, the earlier timestamp keeps the overlapped
+// samples and the later frame contributes only its non-overlapped suffix.
+func TestJitterBufferOverlapSuffixWins(t *testing.T) {
+	jb, err := NewJitterBuffer(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jb.Push(&Frame{Timestamp: 0, Samples: []float64{1, 1, 1, 1}})
+	// Overlaps samples 2..3, extends over 4..5: values are 7 at offsets 0..3.
+	jb.Push(&Frame{Timestamp: 2, Samples: []float64{7, 7, 7, 7}})
+	dst := make([]float64, 6)
+	mask := make([]bool, 6)
+	if real := jb.PopMask(dst, mask); real != 6 {
+		t.Fatalf("PopMask delivered %d real samples, want 6", real)
+	}
+	want := []float64{1, 1, 1, 1, 7, 7}
+	for i, v := range dst {
+		if v != want[i] {
+			t.Errorf("sample %d = %g, want %g (earlier timestamp wins overlap)", i, v, want[i])
+		}
+		if !mask[i] {
+			t.Errorf("sample %d masked concealed, want real", i)
+		}
+	}
+}
+
+// TestJitterBufferShadowedFrameDiscarded: a frame wholly covered by
+// earlier coverage is dropped by the ordered walk without disturbing the
+// stream.
+func TestJitterBufferShadowedFrameDiscarded(t *testing.T) {
+	jb, err := NewJitterBuffer(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jb.Push(&Frame{Timestamp: 0, Samples: []float64{1, 2, 3, 4, 5, 6}})
+	jb.Push(&Frame{Timestamp: 2, Samples: []float64{9, 9}}) // wholly shadowed
+	dst := make([]float64, 8)
+	mask := make([]bool, 8)
+	jb.PopMask(dst, mask)
+	want := []float64{1, 2, 3, 4, 5, 6, 0, 0}
+	for i, v := range dst {
+		if v != want[i] {
+			t.Errorf("sample %d = %g, want %g", i, v, want[i])
+		}
+	}
+	if jb.Buffered() != 0 {
+		t.Errorf("%d frames still buffered after the walk passed them", jb.Buffered())
+	}
+}
+
+// TestJitterBufferPlayoutClockMonotone: whatever the re-stamped input does
+// — duplicates, overlaps, gaps, late frames — the playout clock advances
+// by exactly the popped length, in single-sample pops like the drift
+// resampler issues.
+func TestJitterBufferPlayoutClockMonotone(t *testing.T) {
+	jb, err := NewJitterBuffer(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jb.Anchor(0)
+	if got := jb.PlayoutClock(); got != 0 {
+		t.Fatalf("clock after Anchor(0) = %d, want 0", got)
+	}
+	pushes := []*Frame{
+		{Timestamp: 0, Samples: []float64{1, 1}},
+		{Timestamp: 1, Samples: []float64{2, 2}},  // overlaps
+		{Timestamp: 10, Samples: []float64{3, 3}}, // gap
+		{Timestamp: 4, Samples: []float64{4, 4}},  // reordered
+	}
+	var v [1]float64
+	var m [1]bool
+	clock := uint64(0)
+	for _, f := range pushes {
+		jb.Push(f)
+		for k := 0; k < 3; k++ {
+			jb.PopMask(v[:], m[:])
+			clock++
+			if got := jb.PlayoutClock(); got != clock {
+				t.Fatalf("clock = %d after %d single-sample pops, want %d", got, clock, clock)
+			}
+		}
+	}
+	s := jb.Stats()
+	if s.SamplesDelivered+s.SamplesConcealed != uint64(clock) {
+		t.Errorf("delivered %d + concealed %d != popped %d", s.SamplesDelivered, s.SamplesConcealed, clock)
+	}
+}

@@ -148,6 +148,7 @@ type Receiver struct {
 	fec       *FECDecoder
 	recovered uint64
 	corrupt   uint64
+	obs       func(timestamp uint64)
 }
 
 // NewReceiver listens on addr (e.g. "127.0.0.1:0") with a jitter buffer of
@@ -204,8 +205,20 @@ func (r *Receiver) Poll(timeout time.Duration) (bool, error) {
 	if out != f {
 		r.recovered++
 	}
-	return r.jb.Push(out), nil
+	ok := r.jb.Push(out)
+	if ok && out == f && r.obs != nil {
+		r.obs(out.Timestamp)
+	}
+	return ok, nil
 }
+
+// SetFrameObserver registers fn to run, inside Poll, for every direct data
+// frame accepted into the jitter buffer, with the frame's relay-clock
+// timestamp. The callback fires at the frame's true arrival instant, which
+// is what a DriftEstimator needs to fit the relay-vs-ear clock slope; FEC
+// reconstructions are excluded because they surface at the parity frame's
+// arrival time, not the lost frame's, and would bias the fit.
+func (r *Receiver) SetFrameObserver(fn func(timestamp uint64)) { r.obs = fn }
 
 // Recovered returns how many lost frames FEC has reconstructed.
 func (r *Receiver) Recovered() uint64 { return r.recovered }

@@ -78,6 +78,17 @@ type Config struct {
 	// DegradedFraction is the fraction of the non-causal window kept
 	// live in DEGRADED (default 0.5).
 	DegradedFraction float64
+	// DriftDegradePPM demotes LANC to DEGRADED while the estimated clock
+	// skew magnitude reported via ObserveDrift stays at or above it, and
+	// blocks promotions until the skew falls back under — misaligned
+	// far-future taps are the first casualties of drift, exactly the taps
+	// DEGRADED parks (default 250). Ignored until ObserveDrift is called,
+	// so drift-blind deployments are unchanged.
+	DriftDegradePPM float64
+	// DriftFallbackPPM demotes to FALLBACK: past it no realizable tap
+	// window stays aligned and the local causal canceller is the better
+	// ear (default 4× DriftDegradePPM).
+	DriftFallbackPPM float64
 	// Trace, when non-nil, receives supervisor events on the sample
 	// clock under telemetry.StageSupervisor.
 	Trace *telemetry.Trace
@@ -129,6 +140,12 @@ func (c *Config) fill(window int) {
 	if c.DegradedFraction <= 0 || c.DegradedFraction >= 1 {
 		c.DegradedFraction = 0.5
 	}
+	if c.DriftDegradePPM <= 0 {
+		c.DriftDegradePPM = 250
+	}
+	if c.DriftFallbackPPM <= 0 {
+		c.DriftFallbackPPM = 4 * c.DriftDegradePPM
+	}
 }
 
 // validate rejects nonsensical explicit settings.
@@ -144,6 +161,10 @@ func (c Config) validate() error {
 	if c.FallbackThreshold < c.DegradeThreshold {
 		return fmt.Errorf("supervisor: fallback threshold %g below degrade threshold %g",
 			c.FallbackThreshold, c.DegradeThreshold)
+	}
+	if c.DriftFallbackPPM < c.DriftDegradePPM {
+		return fmt.Errorf("supervisor: drift fallback threshold %g ppm below degrade threshold %g",
+			c.DriftFallbackPPM, c.DriftDegradePPM)
 	}
 	return nil
 }
@@ -207,7 +228,55 @@ type Supervisor struct {
 	// Residual-vs-open power EWMAs for the PASSTHROUGH demotion.
 	ePow, openPow float64
 
+	// Clock-drift posture fed by ObserveDrift; inert until the first call.
+	driftPPM   float64
+	driftStale int
+	driftSeen  bool
+
 	rep Report
+}
+
+// driftStaleLimit is how many consecutive unestimable drift observations
+// (estimator unlocked or starved mid-run) the supervisor tolerates before
+// treating the unknown skew as a degrade-level breach: an unestimable
+// clock is too risky for the full window but not proof the link is dead.
+const driftStaleLimit = 16
+
+// ObserveDrift feeds the supervisor the drift estimator's view, once per
+// estimator update window: ppm is the estimated relay-vs-ear skew
+// magnitude (sign is irrelevant to alignment damage) and estimable is
+// whether the estimate is current (estimator locked and fed). Excess
+// drift joins the concealment health estimator in the ladder rules:
+// sustained skew at or above DriftDegradePPM demotes LANC to DEGRADED,
+// at or above DriftFallbackPPM to FALLBACK, and promotions are blocked
+// until the skew clears. Never calling it leaves the ladder exactly as
+// before drift awareness existed.
+func (s *Supervisor) ObserveDrift(ppm float64, estimable bool) {
+	if ppm < 0 {
+		ppm = -ppm
+	}
+	if estimable {
+		s.driftPPM = ppm
+		s.driftStale = 0
+		s.driftSeen = true
+		return
+	}
+	if s.driftSeen && s.driftStale <= driftStaleLimit {
+		s.driftStale++
+	}
+}
+
+// driftExcess reports whether the drift posture breaches a ladder
+// threshold. A persistently unestimable clock counts as a degrade-level
+// breach only.
+func (s *Supervisor) driftExcess(threshold float64) bool {
+	if !s.driftSeen {
+		return false
+	}
+	if s.driftStale > driftStaleLimit {
+		return threshold <= s.cfg.DriftDegradePPM
+	}
+	return s.driftPPM >= threshold
 }
 
 // New wraps a canceller and its local fallback in a supervisor. Both must
@@ -335,10 +404,12 @@ func (s *Supervisor) maybeTransition() {
 			return
 		}
 		down := s.cfg.DegradeThreshold
+		dppm := s.cfg.DriftDegradePPM
 		if s.state == StateDegraded {
 			down = s.cfg.FallbackThreshold
+			dppm = s.cfg.DriftFallbackPPM
 		}
-		if s.h.ewma >= down {
+		if s.h.ewma >= down || s.driftExcess(dppm) {
 			s.breachRun++
 			if s.breachRun >= s.cfg.DownDwell {
 				s.moveTo(s.state + 1)
@@ -347,9 +418,10 @@ func (s *Supervisor) maybeTransition() {
 		}
 		s.breachRun = 0
 		if s.state == StateDegraded &&
-			s.h.ewma < s.cfg.DegradeThreshold/2 && s.h.clean >= s.cfg.UpDwell {
+			s.h.ewma < s.cfg.DegradeThreshold/2 && s.h.clean >= s.cfg.UpDwell &&
+			!s.driftExcess(s.cfg.DriftDegradePPM) {
 			// Hysteresis: promotion needs the ratio well under the demote
-			// threshold plus a sustained clean run.
+			// threshold plus a sustained clean run (and no drift breach).
 			s.moveTo(StateLANC)
 		}
 	case StateFallback:
@@ -377,7 +449,8 @@ func (s *Supervisor) probe() {
 	}
 	s.rep.Probes++
 	healthy := s.h.clean >= s.cfg.UpDwell && s.taint == 0 &&
-		s.h.ewma < s.cfg.DegradeThreshold/2
+		s.h.ewma < s.cfg.DegradeThreshold/2 &&
+		!s.driftExcess(s.cfg.DriftDegradePPM)
 	if healthy {
 		if s.state == StatePassthrough {
 			s.moveTo(StateFallback)
@@ -387,7 +460,8 @@ func (s *Supervisor) probe() {
 		return
 	}
 	if s.h.clean >= s.cfg.UpDwell && s.taint == 0 &&
-		s.state == StateFallback && s.h.ewma < s.cfg.FallbackThreshold/2 {
+		s.state == StateFallback && s.h.ewma < s.cfg.FallbackThreshold/2 &&
+		!s.driftExcess(s.cfg.DriftFallbackPPM) {
 		// Partially recovered: the link delivers frames again but the
 		// smoothed loss rate is still too high for the full window.
 		s.moveTo(StateDegraded)

@@ -33,6 +33,10 @@ const (
 	// StageSupervisor tags the degradation-ladder supervisor: state
 	// transitions, link-health estimates, and reacquisition probes.
 	StageSupervisor = "supervisor"
+	// StageDrift tags the clock-drift stage between the jitter buffer and
+	// the canceller: estimated skew ppm, applied resampler rate, and the
+	// occupancy (residual alignment) error steering it.
+	StageDrift = "drift"
 )
 
 // Event is one trace record: a pipeline stage observed at a sample-clock

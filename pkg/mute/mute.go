@@ -348,6 +348,62 @@ func PacketizeReference(ref []float64, lt LossTransport) ([]float64, []bool, Los
 	return sim.PacketizeReference(ref, lt)
 }
 
+// --- Clock-drift resilience -----------------------------------------------------
+
+// SkewStep schedules an instantaneous oscillator frequency change — a
+// temperature shock, a PLL re-lock — at a relay-clock sample index.
+type SkewStep = stream.SkewStep
+
+// SkewParams configures the skewed-oscillator fault injector: a constant
+// relay-vs-ear frequency offset in ppm, an optional seeded random-walk
+// wander, and scheduled frequency steps. The zero value is disabled — an
+// exact identity, so pipelines built on it degenerate to the unskewed
+// path bit for bit.
+type SkewParams = stream.SkewParams
+
+// ClockSkew maps relay-clock sample indices to ear-clock positions under
+// the configured skew. Set LossTransport.Skew to inject drift into a
+// simulated run, or pace a live Sender by its Pos (see cmd/muterelay's
+// -skew-ppm flag).
+type ClockSkew = stream.ClockSkew
+
+// NewClockSkew builds the skew injector from validated parameters.
+func NewClockSkew(p SkewParams) (*ClockSkew, error) { return stream.NewClockSkew(p) }
+
+// DriftConfig tunes a DriftEstimator; the zero value selects defaults.
+type DriftConfig = stream.DriftConfig
+
+// DriftEstimator measures the relay-vs-ear clock skew from the delivered
+// stream itself: each frame contributes one (timestamp, arrival) pair and
+// the robust slope of that line is 1 + skew. Feed it from
+// Receiver.SetFrameObserver and steer a VariRateResampler with PPM (see
+// cmd/muteear's -drift-correct flag).
+type DriftEstimator = stream.DriftEstimator
+
+// NewDriftEstimator creates a drift estimator with defaults filled.
+func NewDriftEstimator(cfg DriftConfig) (*DriftEstimator, error) {
+	return stream.NewDriftEstimator(cfg)
+}
+
+// VariRateResampler is the streaming continuous-rate fractional resampler
+// that slaves the received reference to the ear clock: Push jitter-buffer
+// output (with its concealment flag), SetRate to 1 + PPM·1e-6 from the
+// estimator, Pop consumer-clock samples. At rate exactly 1 it is a
+// bit-exact passthrough.
+type VariRateResampler = dsp.VariRateResampler
+
+// NewVariRateResampler creates a resampler at unity rate.
+func NewVariRateResampler() *VariRateResampler { return dsp.NewVariRateResampler() }
+
+// DriftWindow is the drift stage's per-playout-window telemetry in a
+// simulated run.
+type DriftWindow = sim.DriftWindow
+
+// DriftReport summarizes the clock-drift stage of a simulated transport
+// run (LossTransportStats.Drift): injected vs estimated skew, resampler
+// rate trajectory, and suspected oscillator steps.
+type DriftReport = sim.DriftReport
+
 // --- Relay-outage resilience --------------------------------------------------
 
 // Outage schedules a relay blackout on a LossyLink: every frame offered
@@ -483,6 +539,7 @@ const (
 	StageLANC      = telemetry.StageLANC
 	StageResidual  = telemetry.StageResidual
 	StageBudget    = telemetry.StageBudget
+	StageDrift     = telemetry.StageDrift
 )
 
 // NewTelemetry creates an empty metrics registry.
