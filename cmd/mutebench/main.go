@@ -10,6 +10,8 @@
 //	mutebench -fig fig12 -json      # structured output for plotting tools
 //	mutebench -fig fig12 -fm        # route audio through the full FM chain
 //	mutebench -list                 # available experiment ids
+//	mutebench -bench core -bench-json BENCH_core.json   # regenerate perf baseline
+//	mutebench -bench core -bench-compare BENCH_core.json  # CI regression gate
 //
 // Experiment ids: fig12 fig13 fig14 fig15 fig16 fig17 fig18 fig19,
 // lookahead, ablation-taps, ablation-fmsnr, ablation-nlms, and the
@@ -32,6 +34,7 @@ import (
 	"runtime/pprof"
 	"strings"
 
+	"mute/internal/bench"
 	"mute/internal/experiments"
 	"mute/internal/telemetry"
 )
@@ -51,11 +54,20 @@ func main() {
 		telem      = flag.Bool("telemetry", false, "print the aggregated pipeline telemetry report after the run")
 		traceOut   = flag.String("trace-out", "", "write per-stage JSONL trace (forces -workers 1 for a well-ordered stream)")
 		debugAddr  = flag.String("debug-addr", "", "serve expvar (/debug/vars) and pprof on this address")
+		benchSuite = flag.String("bench", "", "run a benchmark suite (core or figs) instead of an experiment")
+		benchJSON  = flag.String("bench-json", "", "write the benchmark report JSON to this file (default stdout)")
+		benchCmp   = flag.String("bench-compare", "", "compare the benchmark run against this baseline report; exit 1 on regression")
+		benchTol   = flag.Float64("bench-threshold", 0.2, "relative regression beyond which -bench-compare fails")
 	)
 	flag.Parse()
 
+	if *benchSuite != "" {
+		runBench(*benchSuite, *benchJSON, *benchCmp, *benchTol)
+		return
+	}
+
 	if *list {
-		fmt.Println("fig12 fig13 fig14 fig15 fig16 fig17 fig18 fig19 lookahead ablation-taps ablation-fmsnr ablation-nlms variants mobility contention tracker multisource loss outage drift all")
+		fmt.Println("fig12 fig13 fig14 fig15 fig16 fig17 fig18 fig19 lookahead ablation-taps ablation-fmsnr ablation-nlms variants mobility contention tracker multisource loss outage drift fdaf all")
 		return
 	}
 	if *cpuProfile != "" {
@@ -159,6 +171,44 @@ func main() {
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "mutebench:", err)
+	os.Exit(1)
+}
+
+// runBench executes a benchmark suite, emits its JSON report, and — when a
+// baseline is given — fails the process on calibrated regressions beyond
+// the threshold. This is the regeneration path for the checked-in
+// BENCH_core.json / BENCH_figs.json perf-trajectory files and the CI gate
+// that holds them.
+func runBench(suite, jsonPath, comparePath string, threshold float64) {
+	rep, err := bench.Run(suite)
+	if err != nil {
+		fatal(err)
+	}
+	raw, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	raw = append(raw, '\n')
+	if jsonPath == "" {
+		os.Stdout.Write(raw)
+	} else if err := os.WriteFile(jsonPath, raw, 0o644); err != nil {
+		fatal(err)
+	}
+	if comparePath == "" {
+		return
+	}
+	baseline, err := bench.Load(comparePath)
+	if err != nil {
+		fatal(err)
+	}
+	problems := bench.Compare(rep, baseline, threshold)
+	if len(problems) == 0 {
+		fmt.Fprintf(os.Stderr, "mutebench: bench %s within %.0f%% of %s\n", suite, threshold*100, comparePath)
+		return
+	}
+	for _, p := range problems {
+		fmt.Fprintln(os.Stderr, "mutebench: regression:", p)
+	}
 	os.Exit(1)
 }
 

@@ -1,0 +1,24 @@
+package anc
+
+import "testing"
+
+// TestFxLMSStepAllocatesNothing pins the conventional-ANC per-sample loop
+// (the Bose baseline's inner loop): Push, AntiNoise and Adapt must not
+// allocate in steady state.
+func TestFxLMSStepAllocatesNothing(t *testing.T) {
+	f, err := NewFxLMS(LMSConfig{Taps: 128, Mu: 0.05, Normalized: true},
+		[]float64{0.85, 0.22, 0.06})
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := 0
+	if n := testing.AllocsPerRun(200, func() {
+		x := float64(i%17)*0.05 - 0.4
+		f.Push(x)
+		y := f.AntiNoise()
+		f.Adapt(0.01 * (x - y))
+		i++
+	}); n != 0 {
+		t.Errorf("FxLMS step allocated %.1f times per run", n)
+	}
+}

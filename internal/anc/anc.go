@@ -76,9 +76,22 @@ func (f *AdaptiveFilter) Push(x float64) {
 
 // Output computes the current filter output y(t) = Σ w[k] x(t-k).
 func (f *AdaptiveFilter) Output() float64 {
+	w, x := f.w, f.x
+	if len(x) < len(w) {
+		return 0
+	}
 	var y float64
-	for k, wk := range f.w {
-		y += wk * f.x[k]
+	// Unrolled with one accumulator and sequential adds — bit-identical to
+	// the rolled dot product, minus most loop overhead and bounds checks.
+	k := 0
+	for ; k+3 < len(w); k += 4 {
+		y += w[k] * x[k]
+		y += w[k+1] * x[k+1]
+		y += w[k+2] * x[k+2]
+		y += w[k+3] * x[k+3]
+	}
+	for ; k < len(w); k++ {
+		y += w[k] * x[k]
 	}
 	return y
 }
@@ -91,13 +104,36 @@ func (f *AdaptiveFilter) Adapt(e float64) {
 	if f.cfg.Normalized {
 		mu /= f.pow + 1e-8
 	}
-	leak := 1 - f.cfg.Leak*f.cfg.Mu
-	for k := range f.w {
-		w := f.w[k]
-		if f.cfg.Leak > 0 {
-			w *= leak
+	muE := mu * e
+	w, x := f.w, f.x
+	if len(x) < len(w) {
+		return
+	}
+	if f.cfg.Leak > 0 {
+		// The leak branch is hoisted out of the tap loop; per-tap arithmetic
+		// is unchanged, so the weights stay bit-identical.
+		leak := 1 - f.cfg.Leak*f.cfg.Mu
+		k := 0
+		for ; k+3 < len(w); k += 4 {
+			w[k] = w[k]*leak + muE*x[k]
+			w[k+1] = w[k+1]*leak + muE*x[k+1]
+			w[k+2] = w[k+2]*leak + muE*x[k+2]
+			w[k+3] = w[k+3]*leak + muE*x[k+3]
 		}
-		f.w[k] = w + mu*e*f.x[k]
+		for ; k < len(w); k++ {
+			w[k] = w[k]*leak + muE*x[k]
+		}
+		return
+	}
+	k := 0
+	for ; k+3 < len(w); k += 4 {
+		w[k] += muE * x[k]
+		w[k+1] += muE * x[k+1]
+		w[k+2] += muE * x[k+2]
+		w[k+3] += muE * x[k+3]
+	}
+	for ; k < len(w); k++ {
+		w[k] += muE * x[k]
 	}
 }
 

@@ -18,10 +18,15 @@ import (
 // reaches the speaker PipelineDelay samples later, which is precisely the
 // missed deadline of Figure 5(a).
 type FxLMS struct {
-	cfg    LMSConfig
-	w      []float64 // h_AF weights (causal taps only)
-	x      []float64 // reference history, newest first
-	fx     []float64 // filtered-x history (x through ĥ_se), newest first
+	cfg LMSConfig
+	w   []float64 // h_AF weights (causal taps only)
+	// Histories are doubled ring buffers: each sample is written at p and
+	// p+Taps, so x[p : p+Taps] is always a contiguous newest-first window
+	// — the same tap order as a shifted array, without the two per-sample
+	// memmoves.
+	x      []float64 // reference history ring
+	fx     []float64 // filtered-x history ring (x through ĥ_se)
+	p      int       // ring cursor: index of the newest sample
 	sec    *dsp.StreamConvolver
 	fxPow  float64
 	xPow   float64
@@ -40,25 +45,30 @@ func NewFxLMS(cfg LMSConfig, secPathEst []float64) (*FxLMS, error) {
 	return &FxLMS{
 		cfg: cfg,
 		w:   make([]float64, cfg.Taps),
-		x:   make([]float64, cfg.Taps),
-		fx:  make([]float64, cfg.Taps),
+		x:   make([]float64, 2*cfg.Taps),
+		fx:  make([]float64, 2*cfg.Taps),
 		sec: dsp.NewStreamConvolver(secPathEst),
 	}, nil
 }
 
 // Push shifts a new reference-microphone sample into the histories.
 func (f *FxLMS) Push(x float64) {
-	oldX := f.x[len(f.x)-1]
-	copy(f.x[1:], f.x)
-	f.x[0] = x
+	n := len(f.w)
+	oldX := f.x[f.p+n-1] // the sample about to leave the window
+	old := f.fx[f.p+n-1]
+	f.p--
+	if f.p < 0 {
+		f.p = n - 1
+	}
+	f.x[f.p] = x
+	f.x[f.p+n] = x
 	f.xPow += x*x - oldX*oldX
 	if f.xPow < 0 {
 		f.xPow = 0
 	}
 	fxNew := f.sec.Process(x)
-	old := f.fx[len(f.fx)-1]
-	copy(f.fx[1:], f.fx)
-	f.fx[0] = fxNew
+	f.fx[f.p] = fxNew
+	f.fx[f.p+n] = fxNew
 	f.fxPow += fxNew*fxNew - old*old
 	if f.fxPow < 0 {
 		f.fxPow = 0
@@ -67,9 +77,20 @@ func (f *FxLMS) Push(x float64) {
 
 // AntiNoise computes the current anti-noise output α(t) = Σ w[k] x(t-k).
 func (f *FxLMS) AntiNoise() float64 {
+	w := f.w
+	x := f.x[f.p : f.p+len(w)]
 	var y float64
-	for k, wk := range f.w {
-		y += wk * f.x[k]
+	// Unrolled with one accumulator and sequential adds — bit-identical to
+	// the rolled dot product.
+	k := 0
+	for ; k+3 < len(w); k += 4 {
+		y += w[k] * x[k]
+		y += w[k+1] * x[k+1]
+		y += w[k+2] * x[k+2]
+		y += w[k+3] * x[k+3]
+	}
+	for ; k < len(w); k++ {
+		y += w[k] * x[k]
 	}
 	return y
 }
@@ -82,11 +103,17 @@ func (f *FxLMS) Adapt(e float64) {
 	// to a few standard deviations of recent history so one transient
 	// cannot kick the weights out of the stability region.
 	f.errVar = 0.998*f.errVar + 0.002*e*e
-	if limit := 3 * math.Sqrt(f.errVar); limit > 0 && (e > limit || e < -limit) {
-		if e > 0 {
-			e = limit
-		} else {
-			e = -limit
+	// Pre-filter before the exact check: clipping requires e² > 9·errVar up
+	// to a relative rounding error of a few ulps, so when e² ≤ 8.99·errVar
+	// no clip was possible and the per-sample sqrt is skipped. The inner
+	// comparison is unchanged, keeping the clip decision bit-identical.
+	if e*e > 8.99*f.errVar {
+		if limit := 3 * math.Sqrt(f.errVar); limit > 0 && (e > limit || e < -limit) {
+			if e > 0 {
+				e = limit
+			} else {
+				e = -limit
+			}
 		}
 	}
 	mu := f.cfg.Mu
@@ -98,13 +125,35 @@ func (f *FxLMS) Adapt(e float64) {
 		// power alone would be tiny there while the gradient noise is not.
 		mu /= f.fxPow + 0.05*f.xPow + 1e-3
 	}
-	leak := 1 - f.cfg.Leak*f.cfg.Mu
-	for k := range f.w {
-		w := f.w[k]
-		if f.cfg.Leak > 0 {
-			w *= leak
+	// The leak branch is hoisted out of the tap loop and mu*e is folded
+	// once; per-tap arithmetic keeps the original association
+	// ((mu*e)*fx[k]), so the weights stay bit-identical to the rolled loop.
+	muE := mu * e
+	w := f.w
+	fx := f.fx[f.p : f.p+len(w)]
+	if f.cfg.Leak > 0 {
+		leak := 1 - f.cfg.Leak*f.cfg.Mu
+		k := 0
+		for ; k+3 < len(w); k += 4 {
+			w[k] = w[k]*leak - muE*fx[k]
+			w[k+1] = w[k+1]*leak - muE*fx[k+1]
+			w[k+2] = w[k+2]*leak - muE*fx[k+2]
+			w[k+3] = w[k+3]*leak - muE*fx[k+3]
 		}
-		f.w[k] = w - mu*e*f.fx[k]
+		for ; k < len(w); k++ {
+			w[k] = w[k]*leak - muE*fx[k]
+		}
+		return
+	}
+	k := 0
+	for ; k+3 < len(w); k += 4 {
+		w[k] -= muE * fx[k]
+		w[k+1] -= muE * fx[k+1]
+		w[k+2] -= muE * fx[k+2]
+		w[k+3] -= muE * fx[k+3]
+	}
+	for ; k < len(w); k++ {
+		w[k] -= muE * fx[k]
 	}
 }
 
@@ -133,6 +182,7 @@ func (f *FxLMS) Reset() {
 		f.x[i] = 0
 		f.fx[i] = 0
 	}
+	f.p = 0
 	f.fxPow = 0
 	f.xPow = 0
 	f.errVar = 0

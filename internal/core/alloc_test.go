@@ -1,0 +1,23 @@
+package core
+
+import "testing"
+
+// TestLANCStepAllocatesNothing pins the steady-state per-sample canceller:
+// after construction, StepMasked must not allocate.
+func TestLANCStepAllocatesNothing(t *testing.T) {
+	l, err := New(Config{
+		NonCausalTaps: 32, CausalTaps: 160, Mu: 0.05, Normalized: true,
+		SecondaryPath: []float64{0.85, 0.22, 0.06},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := 0
+	if n := testing.AllocsPerRun(200, func() {
+		x := float64(i%17)*0.05 - 0.4
+		l.StepMasked(x, 0.01*x, true)
+		i++
+	}); n != 0 {
+		t.Errorf("LANC.StepMasked allocated %.1f times per run", n)
+	}
+}

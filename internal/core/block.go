@@ -2,37 +2,56 @@ package core
 
 import (
 	"fmt"
-	"math/cmplx"
 
 	"mute/internal/dsp"
 )
 
-// BlockLANC is a frequency-domain (fast block LMS) implementation of LANC
-// for long filters: overlap-save convolution and per-bin normalized
-// updates replace the O(M) per-sample loop with O(F log F) per block of B
-// samples — the structure production ANC firmware uses once filters grow
-// past a few hundred taps.
+// BlockLANC is a partitioned frequency-domain (PBFDAF) implementation of
+// LANC for long filters: the M-tap filter is split into P = ⌈M/B⌉
+// partitions of B taps, each applied by overlap-save through a 2B-point
+// real FFT, with per-bin normalized constrained updates. Long filters get
+// FFT economics while block latency stays one block (B−1 samples) — the
+// structure production ANC firmware uses once filters grow past a few
+// hundred taps, without the single-big-FFT variant's latency of the whole
+// filter length.
 //
 // The lookahead view: relative to the *forwarded* stream, LANC's
 // non-causal taps are ordinary causal taps (the stream runs N samples
 // ahead of the acoustic wavefront), so the block filter is a standard
-// causal FBLMS over the forwarded stream. Block processing spends part of
-// the lookahead budget on latency: the last sample of each block is
-// computed B−1 samples before its error is observable, so choose
+// causal adaptive filter over the forwarded stream. Block processing
+// spends part of the lookahead budget on latency: the last sample of each
+// block is computed B−1 samples before its error is observable, so choose
 // BlockSize ≤ the non-causal budget.
+//
+// All state and scratch is preallocated: steady-state ProcessBlockInto
+// calls allocate nothing.
 type BlockLANC struct {
-	m, b, f int // filter taps, block size, FFT size
+	m, b, f  int // filter taps, block size, FFT size (2B)
+	np       int // partitions
+	bins     int // f/2 + 1
+	nonCausN int // declared non-causal taps (for LimitNonCausal)
+	skip     int // leading (most-future) taps forced to zero
 
-	w      []complex128 // frequency-domain weights
-	hse    []complex128 // FFT of ĥ_se
-	inBuf  []float64    // last f samples of the forwarded stream
-	fxBuf  []float64    // last f samples of the filtered-x stream
+	plan   *dsp.RFFTPlan
+	w      [][]complex128 // per-partition frequency-domain weights
+	xSpec  [][]complex128 // ring: spectra of [prev, cur] x windows
+	fxSpec [][]complex128 // ring: spectra of [prev, cur] fx windows
+	head   int            // ring slot of the newest pushed block
+	prevX  []float64      // previous raw x block
+	prevFX []float64      // previous raw fx block
 	fxConv *dsp.StreamConvolver
-	lastFX []complex128 // FFT of the fx window behind the previous output block
-	pow    []float64    // per-bin input power estimate
+	pow    []float64 // per-bin fx power estimate
 	mu     float64
 	lambda float64
 	primed bool
+
+	// Scratch (struct-owned so steady state is allocation-free).
+	win   []float64    // 2B time-domain window
+	spec  []complex128 // transform scratch
+	acc   []complex128 // output spectrum accumulator
+	grad  []complex128 // per-partition gradient spectrum
+	gTime []float64    // constrained gradient time response
+	fxNew []float64    // current block's filtered-x samples
 }
 
 // BlockConfig configures a BlockLANC.
@@ -43,15 +62,21 @@ type BlockConfig struct {
 	// BlockSize is B, the samples produced per call. Latency grows with
 	// B; keep it at or below the deployment's non-causal budget.
 	BlockSize int
-	// Mu is the normalized per-bin step (0.1–1 typical).
+	// Mu is the normalized step (0.1–1 typical). The effective per-bin,
+	// per-partition step is Mu/P, so stability does not depend on how
+	// finely the filter is partitioned and one value works across block
+	// sizes.
 	Mu float64
 	// SecondaryPath is the ĥ_se estimate.
 	SecondaryPath []float64
 	// Lambda is the per-bin power smoothing factor (default 0.9).
 	Lambda float64
+	// NonCausalTaps declares how many leading taps are non-causal (funded
+	// by lookahead). Zero disables LimitNonCausal accounting.
+	NonCausalTaps int
 }
 
-// NewBlock creates a frequency-domain LANC.
+// NewBlock creates a partitioned frequency-domain LANC.
 func NewBlock(cfg BlockConfig) (*BlockLANC, error) {
 	if cfg.FilterTaps <= 0 {
 		return nil, fmt.Errorf("core: block filter taps %d must be positive", cfg.FilterTaps)
@@ -71,20 +96,44 @@ func NewBlock(cfg BlockConfig) (*BlockLANC, error) {
 	if cfg.Lambda <= 0 || cfg.Lambda >= 1 {
 		return nil, fmt.Errorf("core: block lambda %g outside (0, 1)", cfg.Lambda)
 	}
-	f := dsp.NextPow2(cfg.FilterTaps + cfg.BlockSize - 1)
+	if cfg.NonCausalTaps < 0 || cfg.NonCausalTaps > cfg.FilterTaps {
+		return nil, fmt.Errorf("core: non-causal taps %d outside [0, %d]", cfg.NonCausalTaps, cfg.FilterTaps)
+	}
+	b := dsp.NextPow2(cfg.BlockSize)
+	if b != cfg.BlockSize {
+		return nil, fmt.Errorf("core: block size %d must be a power of two", cfg.BlockSize)
+	}
+	f := 2 * b
+	np := (cfg.FilterTaps + b - 1) / b
+	plan := dsp.PlanRFFT(f)
 	bl := &BlockLANC{
-		m:      cfg.FilterTaps,
-		b:      cfg.BlockSize,
-		f:      f,
-		w:      make([]complex128, f),
-		hse:    dsp.FFTReal(cfg.SecondaryPath, f),
-		inBuf:  make([]float64, f),
-		fxBuf:  make([]float64, f),
-		fxConv: dsp.NewStreamConvolver(cfg.SecondaryPath),
-		lastFX: make([]complex128, f),
-		pow:    make([]float64, f),
-		mu:     cfg.Mu,
-		lambda: cfg.Lambda,
+		m:        cfg.FilterTaps,
+		b:        b,
+		f:        f,
+		np:       np,
+		bins:     plan.Bins(),
+		nonCausN: cfg.NonCausalTaps,
+		plan:     plan,
+		prevX:    make([]float64, b),
+		prevFX:   make([]float64, b),
+		fxConv:   dsp.NewStreamConvolver(cfg.SecondaryPath),
+		pow:      make([]float64, plan.Bins()),
+		mu:       cfg.Mu,
+		lambda:   cfg.Lambda,
+		win:      make([]float64, f),
+		spec:     make([]complex128, plan.Bins()),
+		acc:      make([]complex128, plan.Bins()),
+		grad:     make([]complex128, plan.Bins()),
+		gTime:    make([]float64, f),
+		fxNew:    make([]float64, b),
+	}
+	bl.w = make([][]complex128, np)
+	bl.xSpec = make([][]complex128, np)
+	bl.fxSpec = make([][]complex128, np)
+	for p := 0; p < np; p++ {
+		bl.w[p] = make([]complex128, plan.Bins())
+		bl.xSpec[p] = make([]complex128, plan.Bins())
+		bl.fxSpec[p] = make([]complex128, plan.Bins())
 	}
 	return bl, nil
 }
@@ -92,82 +141,221 @@ func NewBlock(cfg BlockConfig) (*BlockLANC, error) {
 // BlockSize returns B.
 func (bl *BlockLANC) BlockSize() int { return bl.b }
 
+// Partitions returns P, the number of frequency-domain partitions.
+func (bl *BlockLANC) Partitions() int { return bl.np }
+
+// ring returns the spectrum ring slot for the block pushed `ago` blocks
+// before the newest one.
+func (bl *BlockLANC) ring(ago int) int {
+	return (bl.head - ago%bl.np + bl.np) % bl.np
+}
+
+// partTaps returns how many of partition p's B tap slots are live filter
+// taps (the last partition is short when B does not divide M).
+func (bl *BlockLANC) partTaps(p int) int {
+	n := bl.m - p*bl.b
+	if n > bl.b {
+		n = bl.b
+	}
+	return n
+}
+
 // ProcessBlock consumes the B newest forwarded samples and the B residual
 // errors measured for the previous output block, and returns the next B
 // anti-noise samples. Pass zeros for ePrev on the first call.
 func (bl *BlockLANC) ProcessBlock(xNew, ePrev []float64) ([]float64, error) {
-	if len(xNew) != bl.b || len(ePrev) != bl.b {
-		return nil, fmt.Errorf("core: block size mismatch (got %d/%d, want %d)", len(xNew), len(ePrev), bl.b)
-	}
-	// 1. Adapt with the previous block's errors against the fx window that
-	//    produced it (skipped until one block has been emitted).
-	if bl.primed {
-		eVec := make([]float64, bl.f)
-		copy(eVec[bl.f-bl.b:], ePrev)
-		E := dsp.FFTReal(eVec, bl.f)
-		// Gradient in frequency domain: conj(FX)∘E, normalized per bin.
-		grad := make([]complex128, bl.f)
-		for k := 0; k < bl.f; k++ {
-			norm := bl.pow[k] + 1e-6
-			grad[k] = cmplx.Conj(bl.lastFX[k]) * E[k] / complex(norm, 0)
-		}
-		// Gradient constraint: force the update to a causal M-tap filter.
-		g := dsp.IFFTReal(grad)
-		for i := bl.m; i < bl.f; i++ {
-			g[i] = 0
-		}
-		G := dsp.FFTReal(g, bl.f)
-		for k := 0; k < bl.f; k++ {
-			bl.w[k] -= complex(bl.mu, 0) * G[k]
-		}
-	}
-
-	// 2. Slide the input windows by B.
-	copy(bl.inBuf, bl.inBuf[bl.b:])
-	copy(bl.inBuf[bl.f-bl.b:], xNew)
-	copy(bl.fxBuf, bl.fxBuf[bl.b:])
-	for i, x := range xNew {
-		bl.fxBuf[bl.f-bl.b+i] = bl.fxConv.Process(x)
-	}
-
-	// 3. Output block via overlap-save.
-	X := dsp.FFTReal(bl.inBuf, bl.f)
-	FX := dsp.FFTReal(bl.fxBuf, bl.f)
-	for k := 0; k < bl.f; k++ {
-		mag := cmplx.Abs(FX[k])
-		bl.pow[k] = bl.lambda*bl.pow[k] + (1-bl.lambda)*mag*mag
-	}
-	copy(bl.lastFX, FX)
-	prod := make([]complex128, bl.f)
-	for k := 0; k < bl.f; k++ {
-		prod[k] = X[k] * bl.w[k]
-	}
-	y := dsp.IFFTReal(prod)
 	out := make([]float64, bl.b)
-	copy(out, y[bl.f-bl.b:])
-	bl.primed = true
+	if err := bl.ProcessBlockInto(out, xNew, ePrev); err != nil {
+		return nil, err
+	}
 	return out, nil
 }
 
-// Weights returns the current sample-domain filter taps (length M).
+// ProcessBlockInto is ProcessBlock writing into caller-owned storage
+// (len(out) == BlockSize()). Steady-state calls allocate nothing.
+func (bl *BlockLANC) ProcessBlockInto(out, xNew, ePrev []float64) error {
+	if len(xNew) != bl.b || len(ePrev) != bl.b {
+		return fmt.Errorf("core: block size mismatch (got %d/%d, want %d)", len(xNew), len(ePrev), bl.b)
+	}
+	if len(out) != bl.b {
+		return fmt.Errorf("core: output block length %d, want %d", len(out), bl.b)
+	}
+
+	// 1. Adapt with the previous block's errors against the fx spectra that
+	//    produced it (skipped until one block has been emitted). The ring
+	//    still holds exactly those spectra because the new block has not
+	//    been pushed yet.
+	if bl.primed {
+		bl.adapt(ePrev)
+	}
+
+	// 2. Push the new block: filter x through ĥ_se, transform both
+	//    [previous block, new block] windows, advance the ring.
+	for i, x := range xNew {
+		bl.fxNew[i] = bl.fxConv.Process(x)
+	}
+	bl.head = (bl.head + 1) % bl.np
+	copy(bl.win[:bl.b], bl.prevX)
+	copy(bl.win[bl.b:], xNew)
+	bl.plan.Forward(bl.xSpec[bl.head], bl.win)
+	copy(bl.win[:bl.b], bl.prevFX)
+	copy(bl.win[bl.b:], bl.fxNew)
+	bl.plan.Forward(bl.fxSpec[bl.head], bl.win)
+	copy(bl.prevX, xNew)
+	copy(bl.prevFX, bl.fxNew)
+	fx := bl.fxSpec[bl.head]
+	for k, v := range fx {
+		re, im := real(v), imag(v)
+		bl.pow[k] = bl.lambda*bl.pow[k] + (1-bl.lambda)*(re*re+im*im)
+	}
+
+	// 3. Output block: sum the per-partition spectral products, inverse
+	//    transform, keep the alias-free second half (overlap-save).
+	acc := bl.acc
+	for k := range acc {
+		acc[k] = 0
+	}
+	for p := 0; p < bl.np; p++ {
+		xs := bl.xSpec[bl.ring(p)]
+		wp := bl.w[p]
+		for k, w := range wp {
+			acc[k] += xs[k] * w
+		}
+	}
+	bl.plan.Inverse(bl.gTime, acc)
+	copy(out, bl.gTime[bl.b:])
+	bl.primed = true
+	return nil
+}
+
+// adapt applies one constrained, per-bin-normalized gradient step to every
+// partition from the previous block's residual errors.
+func (bl *BlockLANC) adapt(ePrev []float64) {
+	// E = RFFT([0…0, ePrev]): the errors sit in the second half, aligned
+	// with the overlap-save output positions.
+	for i := 0; i < bl.b; i++ {
+		bl.win[i] = 0
+	}
+	copy(bl.win[bl.b:], ePrev)
+	bl.plan.Forward(bl.spec, bl.win)
+	// The P partitions take one gradient step each per block, and their
+	// updates compound on the same residual; dividing the step by P keeps
+	// the total projection — and hence the stability region — independent
+	// of how finely the filter is partitioned, so one Mu works across
+	// block sizes.
+	mu := complex(bl.mu/float64(bl.np), 0)
+	for p := 0; p < bl.np; p++ {
+		// head still points at the previous block, so ring(p) is exactly
+		// the fx spectrum partition p consumed when the previous output
+		// block was produced.
+		fx := bl.fxSpec[bl.ring(p)]
+		grad := bl.grad
+		for k, e := range bl.spec {
+			f := fx[k]
+			// conj(FX)·E / (pow + ε), written out to stay in registers.
+			fr, fi := real(f), imag(f)
+			er, ei := real(e), imag(e)
+			norm := bl.pow[k] + 1e-6
+			grad[k] = complex((fr*er+fi*ei)/norm, (fr*ei-fi*er)/norm)
+		}
+		// Gradient constraint: force the update to this partition's live
+		// taps — zero the circular-aliasing tail and, on the last short
+		// partition, the tap slots beyond M.
+		bl.plan.Inverse(bl.gTime, grad)
+		live := bl.partTaps(p)
+		for i := live; i < bl.f; i++ {
+			bl.gTime[i] = 0
+		}
+		// Non-causal limiting: global taps below skip stay zero.
+		if lo := bl.skip - p*bl.b; lo > 0 {
+			if lo > live {
+				lo = live
+			}
+			for i := 0; i < lo; i++ {
+				bl.gTime[i] = 0
+			}
+		}
+		bl.plan.Forward(bl.spec2(), bl.gTime)
+		wp := bl.w[p]
+		for k, g := range bl.spec2() {
+			wp[k] -= mu * g
+		}
+	}
+}
+
+// spec2 aliases the gradient scratch for the re-transform step (grad's
+// spectrum is consumed by the inverse transform before this runs).
+func (bl *BlockLANC) spec2() []complex128 { return bl.grad }
+
+// Weights returns the current sample-domain filter taps (length M). The
+// constrained updates keep every partition a causal B-tap filter, so the
+// reconstruction is exact.
 func (bl *BlockLANC) Weights() []float64 {
-	w := dsp.IFFTReal(bl.w)
 	out := make([]float64, bl.m)
-	copy(out, w[:bl.m])
+	spec := make([]complex128, bl.bins)
+	g := make([]float64, bl.f)
+	for p := 0; p < bl.np; p++ {
+		copy(spec, bl.w[p])
+		bl.plan.Inverse(g, spec)
+		copy(out[p*bl.b:], g[:bl.partTaps(p)])
+	}
 	return out
+}
+
+// NonCausalTaps returns the declared non-causal tap count N.
+func (bl *BlockLANC) NonCausalTaps() int { return bl.nonCausN }
+
+// ActiveNonCausal returns how many non-causal taps are currently live.
+func (bl *BlockLANC) ActiveNonCausal() int { return bl.nonCausN - bl.skip }
+
+// LimitNonCausal shrinks the live non-causal tap window to at most n future
+// taps, zeroing the most-future taps beyond it, mirroring LANC's degraded
+// rung; n ≥ N restores the full window. Zeroed taps also stop adapting.
+func (bl *BlockLANC) LimitNonCausal(n int) {
+	if n < 0 {
+		n = 0
+	}
+	if n > bl.nonCausN {
+		n = bl.nonCausN
+	}
+	bl.skip = bl.nonCausN - n
+	// Re-establish w[:skip] == 0 across the affected partitions.
+	spec := make([]complex128, bl.bins)
+	g := make([]float64, bl.f)
+	for p := 0; p*bl.b < bl.skip && p < bl.np; p++ {
+		copy(spec, bl.w[p])
+		bl.plan.Inverse(g, spec)
+		lo := bl.skip - p*bl.b
+		if lo > bl.b {
+			lo = bl.b
+		}
+		for i := 0; i < lo; i++ {
+			g[i] = 0
+		}
+		for i := bl.b; i < bl.f; i++ {
+			g[i] = 0
+		}
+		bl.plan.Forward(bl.w[p], g)
+	}
 }
 
 // Reset clears all adaptation state.
 func (bl *BlockLANC) Reset() {
-	for i := range bl.w {
-		bl.w[i] = 0
-		bl.lastFX[i] = 0
-		bl.pow[i] = 0
+	for p := 0; p < bl.np; p++ {
+		for k := range bl.w[p] {
+			bl.w[p][k] = 0
+			bl.xSpec[p][k] = 0
+			bl.fxSpec[p][k] = 0
+		}
 	}
-	for i := range bl.inBuf {
-		bl.inBuf[i] = 0
-		bl.fxBuf[i] = 0
+	for k := range bl.pow {
+		bl.pow[k] = 0
+	}
+	for i := range bl.prevX {
+		bl.prevX[i] = 0
+		bl.prevFX[i] = 0
 	}
 	bl.fxConv.Reset()
+	bl.head = 0
 	bl.primed = false
 }

@@ -370,10 +370,21 @@ func (l *LANC) AntiNoise() float64 {
 	// Tap i holds k = i - N, so x(t-k) walks the window [-L, +N] backwards:
 	// one contiguous reversed dot product instead of per-tap At() calls.
 	xv := l.xBuf.View(-l.cfg.CausalTaps, l.cfg.NonCausalTaps)
-	base := len(l.w) - 1
+	w := l.w
+	base := len(w) - 1
 	var a float64
-	for i, wi := range l.w {
-		a += wi * xv[base-i]
+	// Unrolled with sequential adds into one accumulator: bit-identical to
+	// the rolled dot product (see StepMasked).
+	i := 0
+	for ; i+3 < len(w); i += 4 {
+		k := base - i
+		a += w[i] * xv[k]
+		a += w[i+1] * xv[k-1]
+		a += w[i+2] * xv[k-2]
+		a += w[i+3] * xv[k-3]
+	}
+	for ; i < len(w); i++ {
+		a += w[i] * xv[base-i]
 	}
 	return a
 }
@@ -431,12 +442,28 @@ func (l *LANC) Adapt(e float64) {
 	base := len(ww) - 1
 	if l.cfg.Leak > 0 {
 		leak := 1 - l.cfg.Leak*l.cfg.Mu
-		for i := range ww {
+		i := 0
+		for ; i+3 < len(ww); i += 4 {
+			k := base - i
+			ww[i] = ww[i]*leak - muE*fxs[k]
+			ww[i+1] = ww[i+1]*leak - muE*fxs[k-1]
+			ww[i+2] = ww[i+2]*leak - muE*fxs[k-2]
+			ww[i+3] = ww[i+3]*leak - muE*fxs[k-3]
+		}
+		for ; i < len(ww); i++ {
 			ww[i] = ww[i]*leak - muE*fxs[base-i]
 		}
 		return
 	}
-	for i := range ww {
+	i := 0
+	for ; i+3 < len(ww); i += 4 {
+		k := base - i
+		ww[i] -= muE * fxs[k]
+		ww[i+1] -= muE * fxs[k-1]
+		ww[i+2] -= muE * fxs[k-2]
+		ww[i+3] -= muE * fxs[k-3]
+	}
+	for ; i < len(ww); i++ {
 		ww[i] -= muE * fxs[base-i]
 	}
 }
@@ -482,16 +509,52 @@ func (l *LANC) StepMasked(xNew, ePrev float64, real bool) float64 {
 	xs := xv[:len(xv)-l.skip]
 	base := len(ww) - 1
 	var a float64
+	// Both tap loops below are unrolled 4× with a single accumulator and
+	// strictly sequential adds: the floating-point evaluation order per tap
+	// is exactly the rolled loop's, so the output is bit-identical while the
+	// wider body drops most bounds checks and loop overhead.
 	if l.cfg.Leak > 0 {
 		leak := 1 - l.cfg.Leak*l.cfg.Mu
-		for i, wi := range ww {
-			wi = wi*leak - muE*fxs[base-i]
+		i := 0
+		for ; i+3 < len(ww); i += 4 {
+			k := base - i
+			wi := ww[i]*leak - muE*fxs[k]
+			ww[i] = wi
+			a += wi * xs[k]
+			wi = ww[i+1]*leak - muE*fxs[k-1]
+			ww[i+1] = wi
+			a += wi * xs[k-1]
+			wi = ww[i+2]*leak - muE*fxs[k-2]
+			ww[i+2] = wi
+			a += wi * xs[k-2]
+			wi = ww[i+3]*leak - muE*fxs[k-3]
+			ww[i+3] = wi
+			a += wi * xs[k-3]
+		}
+		for ; i < len(ww); i++ {
+			wi := ww[i]*leak - muE*fxs[base-i]
 			ww[i] = wi
 			a += wi * xs[base-i]
 		}
 	} else {
-		for i, wi := range ww {
-			wi -= muE * fxs[base-i]
+		i := 0
+		for ; i+3 < len(ww); i += 4 {
+			k := base - i
+			wi := ww[i] - muE*fxs[k]
+			ww[i] = wi
+			a += wi * xs[k]
+			wi = ww[i+1] - muE*fxs[k-1]
+			ww[i+1] = wi
+			a += wi * xs[k-1]
+			wi = ww[i+2] - muE*fxs[k-2]
+			ww[i+2] = wi
+			a += wi * xs[k-2]
+			wi = ww[i+3] - muE*fxs[k-3]
+			ww[i+3] = wi
+			a += wi * xs[k-3]
+		}
+		for ; i < len(ww); i++ {
+			wi := ww[i] - muE*fxs[base-i]
 			ww[i] = wi
 			a += wi * xs[base-i]
 		}

@@ -39,16 +39,33 @@ func convolveDirect(x, h []float64) []float64 {
 	return out
 }
 
+// convolveFFT runs the product through the cached full-complex plan with
+// pooled scratch; only the result slice is allocated. The full-complex
+// transform (not RFFT) keeps the samples bit-identical to the seed
+// implementation, which the golden traces pin.
 func convolveFFT(x, h []float64) []float64 {
 	outLen := len(x) + len(h) - 1
 	n := NextPow2(outLen)
-	X := FFTReal(x, n)
-	H := FFTReal(h, n)
-	for i := range X {
-		X[i] *= H[i]
+	p := PlanFFT(n)
+	cx := getComplex(n)
+	ch := getComplex(n)
+	for i, v := range x {
+		cx[i] = complex(v, 0)
 	}
-	out := IFFTReal(X)
-	return out[:outLen]
+	for i, v := range h {
+		ch[i] = complex(v, 0)
+	}
+	p.Forward(cx)
+	p.Forward(ch)
+	MulSpectra(cx, cx, ch)
+	p.Inverse(cx)
+	out := make([]float64, outLen)
+	for i := range out {
+		out[i] = real(cx[i])
+	}
+	putComplex(ch)
+	putComplex(cx)
+	return out
 }
 
 // CrossCorrelate returns the cross-correlation r[lag] = sum_t a[t]*b[t+lag]
@@ -73,17 +90,22 @@ func CrossCorrelate(a, b []float64) []float64 {
 // History is kept as a double-write ring (2*len(h) storage, each sample
 // written to two slots len(h) apart) so the per-sample tap loop walks one
 // contiguous slice with no wrap branch. For long impulse responses,
-// ProcessBlock switches to partitioned overlap-save convolution on the
-// existing FFT, which is how the simulator pre-renders room channels.
+// ProcessBlock switches to partitioned overlap-save convolution through the
+// cached FFT plan, which is how the simulator pre-renders room channels.
+// All overlap-save scratch is owned by the struct, so the steady-state block
+// path performs no allocation when driven through ProcessBlockInto.
 type StreamConvolver struct {
 	h    []float64
 	hist []float64 // double-write ring, len == 2*len(h)
 	pos  int       // write cursor in [0, len(h))
 
-	// Lazily built overlap-save plan for the block path.
+	// Lazily built overlap-save plan and scratch for the block path.
+	plan *FFTPlan
 	fftH []complex128 // FFT of h at size fftN
 	fftN int          // FFT length (power of two)
 	step int          // fresh samples produced per FFT block
+	seg  []complex128 // segment transform scratch, len fftN
+	ext  []float64    // history-prefixed input scratch, grows to fit
 }
 
 // olsMinKernel is the impulse-response length above which ProcessBlock
@@ -109,10 +131,22 @@ func (s *StreamConvolver) Process(x float64) float64 {
 	s.hist[s.pos] = x
 	s.hist[s.pos+m] = x
 	// The mirrored slot makes hist[pos+m-j] = x[t-j] for all j in [0, m).
-	newest := s.pos + m
+	win := s.hist[s.pos+1 : s.pos+m+1 : s.pos+m+1]
+	h := s.h
+	n1 := m - 1
 	var acc float64
-	for j, hv := range s.h {
-		acc += hv * s.hist[newest-j]
+	// Unrolled with a single accumulator and sequential adds: the summation
+	// order is exactly the original tap loop's, so the output bits match.
+	j := 0
+	for ; j+3 < m; j += 4 {
+		k := n1 - j
+		acc += h[j] * win[k]
+		acc += h[j+1] * win[k-1]
+		acc += h[j+2] * win[k-2]
+		acc += h[j+3] * win[k-3]
+	}
+	for ; j < m; j++ {
+		acc += h[j] * win[n1-j]
 	}
 	s.pos++
 	if s.pos == m {
@@ -127,17 +161,28 @@ func (s *StreamConvolver) Process(x float64) float64 {
 // the streaming history stays consistent, so Process/ProcessBlock calls can
 // be interleaved freely.
 func (s *StreamConvolver) ProcessBlock(x []float64) []float64 {
-	if len(s.h) >= olsMinKernel && len(x) >= 2*len(s.h) {
-		return s.processOverlapSave(x)
-	}
 	out := make([]float64, len(x))
-	for i, v := range x {
-		out[i] = s.Process(v)
-	}
+	s.ProcessBlockInto(out, x)
 	return out
 }
 
-// ensurePlan builds (once) the FFT plan for the overlap-save path.
+// ProcessBlockInto is ProcessBlock writing into caller-owned storage.
+// len(out) must equal len(x); out must not alias the convolver's internals.
+// Steady-state calls with a stable block size allocate nothing.
+func (s *StreamConvolver) ProcessBlockInto(out, x []float64) {
+	if len(out) != len(x) {
+		panic("dsp: StreamConvolver.ProcessBlockInto length mismatch")
+	}
+	if len(s.h) >= olsMinKernel && len(x) >= 2*len(s.h) {
+		s.processOverlapSave(out, x)
+		return
+	}
+	for i, v := range x {
+		out[i] = s.Process(v)
+	}
+}
+
+// ensurePlan builds (once) the FFT plan and scratch for the overlap-save path.
 func (s *StreamConvolver) ensurePlan() {
 	if s.fftH != nil {
 		return
@@ -149,6 +194,8 @@ func (s *StreamConvolver) ensurePlan() {
 	s.fftN = n
 	s.step = n - (len(s.h) - 1)
 	s.fftH = FFTReal(s.h, n)
+	s.plan = PlanFFT(n)
+	s.seg = make([]complex128, n)
 }
 
 // processOverlapSave runs partitioned overlap-save: the input (prefixed
@@ -156,12 +203,15 @@ func (s *StreamConvolver) ensurePlan() {
 // each multiplied by the cached kernel spectrum, and the alias-free tail of
 // every inverse transform is the output. One O(n log n) pass per block
 // replaces len(h) multiplies per sample.
-func (s *StreamConvolver) processOverlapSave(x []float64) []float64 {
+func (s *StreamConvolver) processOverlapSave(out, x []float64) {
 	s.ensurePlan()
 	m := len(s.h)
 	overlap := m - 1
 	// ext = [last m-1 inputs, x...] so segment b sees the history it needs.
-	ext := make([]float64, overlap+len(x))
+	if cap(s.ext) < overlap+len(x) {
+		s.ext = make([]float64, overlap+len(x))
+	}
+	ext := s.ext[:overlap+len(x)]
 	for i := 0; i < overlap; i++ {
 		// Chronological history: the sample j pushes ago lives at
 		// pos-1-j (mod m); the double-write mirror makes pos+m-1-j safe.
@@ -169,22 +219,27 @@ func (s *StreamConvolver) processOverlapSave(x []float64) []float64 {
 	}
 	copy(ext[overlap:], x)
 
-	out := make([]float64, len(x))
-	seg := make([]float64, s.fftN)
+	seg := s.seg
 	for b := 0; b < len(x); b += s.step {
-		n := copy(seg, ext[b:])
+		n := len(ext) - b
+		if n > s.fftN {
+			n = s.fftN
+		}
+		for i, v := range ext[b : b+n] {
+			seg[i] = complex(v, 0)
+		}
 		for i := n; i < s.fftN; i++ {
 			seg[i] = 0
 		}
-		X := FFTReal(seg, s.fftN)
-		for k := range X {
-			X[k] *= s.fftH[k]
-		}
-		y := IFFTReal(X)
+		s.plan.Forward(seg)
+		MulSpectra(seg, seg, s.fftH)
+		s.plan.Inverse(seg)
 		// The first overlap outputs are circularly aliased; the rest are
 		// exact linear convolution.
 		lim := min(s.step, len(x)-b)
-		copy(out[b:b+lim], y[overlap:overlap+lim])
+		for i := 0; i < lim; i++ {
+			out[b+i] = real(seg[overlap+i])
+		}
 	}
 
 	// Restore the streaming history: the last m inputs, chronologically,
@@ -193,7 +248,6 @@ func (s *StreamConvolver) processOverlapSave(x []float64) []float64 {
 	copy(s.hist[:m], tail)
 	copy(s.hist[m:], tail)
 	s.pos = 0
-	return out
 }
 
 // Reset clears the convolver history.

@@ -1,0 +1,28 @@
+package dsp
+
+import "testing"
+
+// TestStreamConvolverAllocatesNothing pins the steady-state ear path: once a
+// convolver exists and (for the block path) its overlap-save plan is built,
+// neither the per-sample loop nor ProcessBlockInto may allocate.
+func TestStreamConvolverAllocatesNothing(t *testing.T) {
+	short := NewStreamConvolver(make([]float64, 57))
+	if n := testing.AllocsPerRun(100, func() { short.Process(0.25) }); n != 0 {
+		t.Errorf("per-sample Process allocated %.1f times per run", n)
+	}
+
+	x := make([]float64, 4096)
+	out := make([]float64, 4096)
+	for i := range x {
+		x[i] = float64(i%13) - 6
+	}
+	if n := testing.AllocsPerRun(20, func() { short.ProcessBlockInto(out, x) }); n != 0 {
+		t.Errorf("per-sample block path allocated %.1f times per run", n)
+	}
+
+	long := NewStreamConvolver(make([]float64, 256))
+	long.ProcessBlockInto(out, x) // builds the overlap-save plan and scratch
+	if n := testing.AllocsPerRun(20, func() { long.ProcessBlockInto(out, x) }); n != 0 {
+		t.Errorf("overlap-save block path allocated %.1f times per run", n)
+	}
+}

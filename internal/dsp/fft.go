@@ -3,24 +3,28 @@ package dsp
 import (
 	"math"
 	"math/cmplx"
+	"sync"
 )
 
-// FFT computes the in-place-free discrete Fourier transform of x.
-// Power-of-two lengths use an iterative radix-2 Cooley-Tukey kernel;
-// all other lengths fall back to Bluestein's chirp-z algorithm, so any
-// N >= 1 is supported. The input slice is not modified.
+// FFT computes the discrete Fourier transform of x. Power-of-two lengths
+// use the cached radix-2 plan; all other lengths fall back to a cached
+// Bluestein chirp-z plan, so any N >= 1 is supported. The input slice is
+// not modified. The per-size plans (twiddles, bit-reversal, chirp tables)
+// are computed once per process, so repeated calls no longer rebuild
+// trigonometric state — only the output slice is allocated.
 func FFT(x []complex128) []complex128 {
 	n := len(x)
 	if n == 0 {
 		return nil
 	}
+	out := make([]complex128, n)
+	copy(out, x)
 	if IsPow2(n) {
-		out := make([]complex128, n)
-		copy(out, x)
-		fftRadix2(out, false)
+		PlanFFT(n).Forward(out)
 		return out
 	}
-	return bluestein(x, false)
+	planBluestein(n).transform(out, false)
+	return out
 }
 
 // IFFT computes the inverse DFT of x with 1/N normalization.
@@ -29,14 +33,13 @@ func IFFT(x []complex128) []complex128 {
 	if n == 0 {
 		return nil
 	}
-	var out []complex128
+	out := make([]complex128, n)
+	copy(out, x)
 	if IsPow2(n) {
-		out = make([]complex128, n)
-		copy(out, x)
-		fftRadix2(out, true)
-	} else {
-		out = bluestein(x, true)
+		PlanFFT(n).Inverse(out)
+		return out
 	}
+	planBluestein(n).transform(out, true)
 	inv := complex(1/float64(n), 0)
 	for i := range out {
 		out[i] *= inv
@@ -55,10 +58,11 @@ func FFTReal(x []float64, n int) []complex128 {
 		cx[i] = complex(v, 0)
 	}
 	if IsPow2(n) {
-		fftRadix2(cx, false)
+		PlanFFT(n).Forward(cx)
 		return cx
 	}
-	return bluestein(cx, false)
+	planBluestein(n).transform(cx, false)
+	return cx
 }
 
 // IFFTReal computes the inverse DFT of spectrum X and returns the real part.
@@ -72,83 +76,78 @@ func IFFTReal(X []complex128) []float64 {
 	return out
 }
 
-// fftRadix2 computes an in-place iterative radix-2 FFT. len(a) must be a
-// power of two. If inverse is true the conjugate transform is computed
-// (without the 1/N factor).
-func fftRadix2(a []complex128, inverse bool) {
-	n := len(a)
-	if n <= 1 {
-		return
-	}
-	// Bit-reversal permutation.
-	for i, j := 1, 0; i < n; i++ {
-		bit := n >> 1
-		for ; j&bit != 0; bit >>= 1 {
-			j ^= bit
-		}
-		j ^= bit
-		if i < j {
-			a[i], a[j] = a[j], a[i]
-		}
-	}
-	sign := -1.0
-	if inverse {
-		sign = 1.0
-	}
-	for length := 2; length <= n; length <<= 1 {
-		ang := sign * 2 * math.Pi / float64(length)
-		wl := cmplx.Rect(1, ang)
-		half := length >> 1
-		for start := 0; start < n; start += length {
-			w := complex(1, 0)
-			for k := 0; k < half; k++ {
-				u := a[start+k]
-				v := a[start+k+half] * w
-				a[start+k] = u + v
-				a[start+k+half] = u - v
-				w *= wl
-			}
-		}
-	}
+// bluesteinPlan evaluates an arbitrary-length DFT as a convolution through
+// the radix-2 plans. The chirp and the kernel spectrum for both directions
+// are precomputed once per size.
+type bluesteinPlan struct {
+	n, m   int
+	mp     *FFTPlan
+	wF, wI []complex128 // chirp exp(±iπk²/n)
+	bF, bI []complex128 // FFT of the chirp-conjugate kernel, per direction
 }
 
-// bluestein evaluates an arbitrary-length DFT as a convolution, enabling
-// FFTs for any N via the radix-2 kernel.
-func bluestein(x []complex128, inverse bool) []complex128 {
-	n := len(x)
-	sign := -1.0
-	if inverse {
-		sign = 1.0
+var bluesteinPlans sync.Map // int → *bluesteinPlan
+
+func planBluestein(n int) *bluesteinPlan {
+	if v, ok := bluesteinPlans.Load(n); ok {
+		return v.(*bluesteinPlan)
 	}
-	// Chirp w[k] = exp(sign * i*pi*k^2/n).
+	m := NextPow2(2*n - 1)
+	p := &bluesteinPlan{n: n, m: m, mp: PlanFFT(m)}
+	p.wF = bluesteinChirp(n, -1)
+	p.wI = bluesteinChirp(n, +1)
+	p.bF = bluesteinKernel(p.wF, n, m, p.mp)
+	p.bI = bluesteinKernel(p.wI, n, m, p.mp)
+	v, _ := bluesteinPlans.LoadOrStore(n, p)
+	return v.(*bluesteinPlan)
+}
+
+func bluesteinChirp(n int, sign float64) []complex128 {
 	w := make([]complex128, n)
 	for k := 0; k < n; k++ {
-		// k^2 mod 2n avoids precision loss for large k.
+		// k² mod 2n avoids precision loss for large k.
 		k2 := (int64(k) * int64(k)) % (2 * int64(n))
 		w[k] = cmplx.Rect(1, sign*math.Pi*float64(k2)/float64(n))
 	}
-	m := NextPow2(2*n - 1)
-	a := make([]complex128, m)
+	return w
+}
+
+func bluesteinKernel(w []complex128, n, m int, mp *FFTPlan) []complex128 {
 	b := make([]complex128, m)
 	for k := 0; k < n; k++ {
-		a[k] = x[k] * w[k]
 		b[k] = cmplx.Conj(w[k])
 	}
 	for k := 1; k < n; k++ {
 		b[m-k] = cmplx.Conj(w[k])
 	}
-	fftRadix2(a, false)
-	fftRadix2(b, false)
+	mp.Forward(b)
+	return b
+}
+
+// transform computes the DFT (or conjugate DFT) of x in place, without any
+// normalization factor.
+func (p *bluesteinPlan) transform(x []complex128, inverse bool) {
+	w, b := p.wF, p.bF
+	if inverse {
+		w, b = p.wI, p.bI
+	}
+	a := getComplex(p.m)
+	defer putComplex(a)
+	for k := 0; k < p.n; k++ {
+		a[k] = x[k] * w[k]
+	}
+	for k := p.n; k < p.m; k++ {
+		a[k] = 0
+	}
+	p.mp.Forward(a)
 	for i := range a {
 		a[i] *= b[i]
 	}
-	fftRadix2(a, true)
-	invM := complex(1/float64(m), 0)
-	out := make([]complex128, n)
-	for k := 0; k < n; k++ {
-		out[k] = a[k] * invM * w[k]
+	p.mp.inverseRaw(a)
+	invM := complex(1/float64(p.m), 0)
+	for k := 0; k < p.n; k++ {
+		x[k] = a[k] * invM * w[k]
 	}
-	return out
 }
 
 // Spectrum returns the one-sided magnitude spectrum of x (length n/2+1 for
@@ -156,7 +155,19 @@ func bluestein(x []complex128, inverse bool) []complex128 {
 // sample rate.
 func Spectrum(x []float64, sampleRate float64) (mags, freqs []float64) {
 	n := NextPow2(len(x))
-	X := FFTReal(x, n)
+	if n < 2 {
+		n = 2
+	}
+	plan := PlanRFFT(n)
+	seg := getFloat(n)
+	defer putFloat(seg)
+	copy(seg, x)
+	for i := len(x); i < n; i++ {
+		seg[i] = 0
+	}
+	X := getComplex(plan.Bins())
+	defer putComplex(X)
+	plan.Forward(X, seg)
 	half := n/2 + 1
 	mags = make([]float64, half)
 	freqs = make([]float64, half)

@@ -2,7 +2,6 @@ package dsp
 
 import (
 	"fmt"
-	"math/cmplx"
 )
 
 // PSD holds a one-sided power spectral density estimate.
@@ -45,15 +44,24 @@ func WelchPSD(x []float64, sampleRate float64, segLen int) (*PSD, error) {
 	acc := make([]float64, half)
 	hop := n / 2
 	segments := 0
-	seg := make([]float64, n)
+	// Real input: the packed RFFT plan does each segment in half the
+	// butterflies of the full complex transform, with pooled scratch.
+	plan := PlanRFFT(n)
+	seg := getFloat(n)
+	X := getComplex(half)
+	defer putFloat(seg)
+	defer putComplex(X)
 	for start := 0; start+n <= len(x); start += hop {
 		for i := 0; i < n; i++ {
 			seg[i] = x[start+i] * w[i]
 		}
-		X := FFTReal(seg, n)
+		plan.Forward(X, seg)
 		for k := 0; k < half; k++ {
-			p := cmplx.Abs(X[k])
-			acc[k] += p * p
+			// |X|² straight from the components: the overflow-guarded
+			// hypot of cmplx.Abs costs a sqrt per bin for protection a
+			// power accumulation does not need.
+			re, im := real(X[k]), imag(X[k])
+			acc[k] += re*re + im*im
 		}
 		segments++
 	}
@@ -65,10 +73,10 @@ func WelchPSD(x []float64, sampleRate float64, segLen int) (*PSD, error) {
 		for i := len(x); i < n; i++ {
 			seg[i] = 0
 		}
-		X := FFTReal(seg, n)
+		plan.Forward(X, seg)
 		for k := 0; k < half; k++ {
-			p := cmplx.Abs(X[k])
-			acc[k] += p * p
+			re, im := real(X[k]), imag(X[k])
+			acc[k] += re*re + im*im
 		}
 		segments = 1
 	}

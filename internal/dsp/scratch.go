@@ -1,0 +1,63 @@
+package dsp
+
+import "sync"
+
+// Pooled scratch for the legacy package-level helpers (FFT, Spectrum,
+// Convolve): transient power-of-two buffers that would otherwise be a fresh
+// allocation per call. The pool holds *[]T so Get/Put never box a slice
+// header; the caller owns the pointer between get and put. Components with
+// AllocsPerRun=0 guarantees own their scratch as struct fields instead — a
+// sync.Pool may be drained by the GC at any time, so it amortizes allocation
+// but cannot pin it to zero.
+
+var complexPool = sync.Pool{New: func() any { return new([]complex128) }}
+
+var floatPool = sync.Pool{New: func() any { return new([]float64) }}
+
+// getComplex returns a zeroed scratch slice of length n. Release it with
+// putComplex(&s) when done.
+func getComplex(n int) []complex128 {
+	p := complexPool.Get().(*[]complex128)
+	s := *p
+	*p = nil
+	complexPool.Put(p)
+	if cap(s) < n {
+		s = make([]complex128, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+// putComplex returns s's backing array to the pool.
+func putComplex(s []complex128) {
+	p := complexPool.Get().(*[]complex128)
+	*p = s[:0]
+	complexPool.Put(p)
+}
+
+// getFloat returns a zeroed scratch slice of length n. Release it with
+// putFloat when done.
+func getFloat(n int) []float64 {
+	p := floatPool.Get().(*[]float64)
+	s := *p
+	*p = nil
+	floatPool.Put(p)
+	if cap(s) < n {
+		s = make([]float64, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+// putFloat returns s's backing array to the pool.
+func putFloat(s []float64) {
+	p := floatPool.Get().(*[]float64)
+	*p = s[:0]
+	floatPool.Put(p)
+}

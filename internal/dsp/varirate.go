@@ -108,7 +108,8 @@ func (r *VariRateResampler) Position() float64 { return r.pos }
 // Pending returns how many pushed input samples lie at or beyond the
 // current read position (buffered input not yet turned into output).
 func (r *VariRateResampler) Pending() int {
-	i := uint64(math.Floor(r.pos))
+	// pos is invariantly >= 0, so integer truncation is floor.
+	i := uint64(r.pos)
 	if r.head <= i {
 		return 0
 	}
@@ -127,11 +128,11 @@ func (r *VariRateResampler) Push(x float64, real bool) {
 // need returns the absolute index of the last input sample the next output
 // reads: floor(pos) at integer positions, floor(pos)+2 otherwise.
 func (r *VariRateResampler) need() uint64 {
-	i := math.Floor(r.pos)
-	if r.pos == i {
-		return uint64(i)
+	i := uint64(r.pos) // pos >= 0: truncation is floor
+	if r.pos == float64(i) {
+		return i
 	}
-	return uint64(i) + 2
+	return i + 2
 }
 
 // Ready reports whether enough input has been pushed to produce the next
@@ -145,7 +146,7 @@ func (r *VariRateResampler) Pop() (v float64, real bool, ok bool) {
 	if !r.Ready() {
 		return 0, false, false
 	}
-	i := int(math.Floor(r.pos))
+	i := int(r.pos) // pos >= 0: truncation is floor
 	frac := r.pos - float64(i)
 	if frac == 0 {
 		v, real = r.at(i)
@@ -178,8 +179,8 @@ func (r *VariRateResampler) at(k int) (float64, bool) {
 // enough has accumulated, keeping memory O(1).
 func (r *VariRateResampler) compact() {
 	keep := uint64(0)
-	if p := math.Floor(r.pos); p >= 1 {
-		keep = uint64(p) - 1 // retain the i-1 history tap
+	if r.pos >= 1 {
+		keep = uint64(r.pos) - 1 // retain the i-1 history tap (truncation = floor)
 	}
 	if keep <= r.base || keep-r.base < 64 {
 		return

@@ -9,7 +9,6 @@ import (
 	"fmt"
 	"math"
 	"math/cmplx"
-	"sort"
 
 	"mute/internal/dsp"
 )
@@ -28,50 +27,116 @@ type Correlation struct {
 	Values []float64
 }
 
+// Correlator computes GCC-PHAT correlations for a fixed window length with
+// preallocated transform plans and scratch: a periodic tracker reuses one
+// Correlator across rounds, so the steady-state correlation path performs
+// no allocation. The real-input signals go through the packed RFFT plan —
+// half the butterflies of the full complex transform the per-call path
+// previously paid for, per signal, per round.
+type Correlator struct {
+	n    int // window length
+	m    int // transform length, NextPow2(2n)
+	plan *dsp.RFFTPlan
+	seg  []float64    // zero-padded window scratch
+	spcF []complex128 // forwarded half spectrum
+	spcL []complex128 // local half spectrum / PHAT cross-spectrum
+	corr []float64    // inverse transform (correlation function)
+}
+
+// NewCorrelator builds a Correlator for correlation windows of exactly
+// window samples.
+func NewCorrelator(window int) (*Correlator, error) {
+	if window < 2 {
+		return nil, fmt.Errorf("relaysel: correlation window %d too short", window)
+	}
+	m := dsp.NextPow2(2 * window)
+	plan := dsp.PlanRFFT(m)
+	return &Correlator{
+		n:    window,
+		m:    m,
+		plan: plan,
+		seg:  make([]float64, m),
+		spcF: make([]complex128, plan.Bins()),
+		spcL: make([]complex128, plan.Bins()),
+		corr: make([]float64, m),
+	}, nil
+}
+
+// Correlate computes the PHAT-weighted cross-correlation into dst, reusing
+// dst's Lags/Values storage when capacity allows. Steady-state calls with a
+// reused dst allocate nothing.
+func (c *Correlator) Correlate(dst *Correlation, forwarded, local []float64, maxLag int) error {
+	n := len(forwarded)
+	if n == 0 || len(local) != n {
+		return fmt.Errorf("relaysel: signals must be equal non-zero length (got %d, %d)", n, len(local))
+	}
+	if n != c.n {
+		return fmt.Errorf("relaysel: correlator window is %d samples, got %d", c.n, n)
+	}
+	if maxLag <= 0 || maxLag >= n/2 {
+		return fmt.Errorf("relaysel: maxLag %d outside (0, %d)", maxLag, n/2)
+	}
+	copy(c.seg, forwarded)
+	for i := n; i < c.m; i++ {
+		c.seg[i] = 0
+	}
+	c.plan.Forward(c.spcF, c.seg)
+	copy(c.seg, local)
+	for i := n; i < c.m; i++ {
+		c.seg[i] = 0
+	}
+	c.plan.Forward(c.spcL, c.seg)
+	// Cross-power spectrum with PHAT weighting: keep phase only. The
+	// conjugate-symmetric remainder is implied by the half-spectrum form.
+	for k, f := range c.spcF {
+		x := c.spcL[k] * cmplx.Conj(f)
+		mag := cmplx.Abs(x)
+		if mag > 1e-12 {
+			c.spcL[k] = x / complex(mag, 0)
+		} else {
+			c.spcL[k] = 0
+		}
+	}
+	c.plan.Inverse(c.corr, c.spcL)
+	// corr[lag] for lag >= 0 at index lag; negative lags wrap to m-|lag|.
+	dst.Lags = dst.Lags[:0]
+	dst.Values = dst.Values[:0]
+	dst.LagSamples = 0
+	bestVal := math.Inf(-1)
+	for lag := -maxLag; lag <= maxLag; lag++ {
+		idx := lag
+		if idx < 0 {
+			idx += c.m
+		}
+		v := c.corr[idx]
+		dst.Lags = append(dst.Lags, lag)
+		dst.Values = append(dst.Values, v)
+		if v > bestVal {
+			bestVal = v
+			dst.LagSamples = lag
+		}
+	}
+	dst.Peak = bestVal
+	return nil
+}
+
 // GCCPHAT computes the PHAT-weighted generalized cross-correlation between
 // the forwarded reference signal and the local (error-mic) signal over lags
 // in [-maxLag, maxLag]. Both signals must have equal length ≥ 2·maxLag.
+// Callers correlating repeatedly should hold a Correlator instead.
 func GCCPHAT(forwarded, local []float64, maxLag int) (*Correlation, error) {
 	n := len(forwarded)
 	if n == 0 || len(local) != n {
 		return nil, fmt.Errorf("relaysel: signals must be equal non-zero length (got %d, %d)", n, len(local))
 	}
-	if maxLag <= 0 || maxLag >= n/2 {
-		return nil, fmt.Errorf("relaysel: maxLag %d outside (0, %d)", maxLag, n/2)
+	c, err := NewCorrelator(n)
+	if err != nil {
+		return nil, err
 	}
-	m := dsp.NextPow2(2 * n)
-	F := dsp.FFTReal(forwarded, m)
-	L := dsp.FFTReal(local, m)
-	// Cross-power spectrum with PHAT weighting: keep phase only.
-	X := make([]complex128, m)
-	for k := 0; k < m; k++ {
-		c := L[k] * cmplx.Conj(F[k])
-		mag := cmplx.Abs(c)
-		if mag > 1e-12 {
-			X[k] = c / complex(mag, 0)
-		}
+	res := &Correlation{}
+	if err := c.Correlate(res, forwarded, local, maxLag); err != nil {
+		return nil, err
 	}
-	corr := dsp.IFFTReal(X)
-	// corr[lag] for lag >= 0 at index lag; negative lags wrap to m-|lag|.
-	res := &Correlation{
-		Lags:   make([]int, 0, 2*maxLag+1),
-		Values: make([]float64, 0, 2*maxLag+1),
-	}
-	bestVal := math.Inf(-1)
-	for lag := -maxLag; lag <= maxLag; lag++ {
-		idx := lag
-		if idx < 0 {
-			idx += m
-		}
-		v := corr[idx]
-		res.Lags = append(res.Lags, lag)
-		res.Values = append(res.Values, v)
-		if v > bestVal {
-			bestVal = v
-			res.LagSamples = lag
-		}
-	}
-	res.Peak = bestVal
 	return res, nil
 }
 
@@ -108,20 +173,45 @@ func SelectRelay(forwarded [][]float64, local []float64, maxLag, minLead int, mi
 	if len(forwarded) == 0 {
 		return nil, fmt.Errorf("relaysel: no relays")
 	}
-	sel := &Selection{Best: -1}
-	for i, f := range forwarded {
-		c, err := GCCPHAT(f, local, maxLag)
-		if err != nil {
-			return nil, fmt.Errorf("relaysel: relay %d: %w", i, err)
-		}
-		sel.Reports = append(sel.Reports, RelayReport{Index: i, LagSamples: c.LagSamples, Peak: c.Peak})
+	c, err := NewCorrelator(len(local))
+	if err != nil {
+		return nil, err
 	}
-	sort.Slice(sel.Reports, func(a, b int) bool {
-		return sel.Reports[a].LagSamples > sel.Reports[b].LagSamples
-	})
+	sel := &Selection{}
+	if err := c.SelectInto(sel, new(Correlation), forwarded, local, maxLag, minLead, minPeak); err != nil {
+		return nil, err
+	}
+	return sel, nil
+}
+
+// SelectInto is SelectRelay running through the correlator's reusable
+// scratch: one correlation round with a reused sel and scratch allocates
+// nothing. Reports end up sorted by descending lag (stable on ties).
+func (c *Correlator) SelectInto(sel *Selection, scratch *Correlation, forwarded [][]float64, local []float64, maxLag, minLead int, minPeak float64) error {
+	if len(forwarded) == 0 {
+		return fmt.Errorf("relaysel: no relays")
+	}
+	sel.Best = -1
+	sel.Reports = sel.Reports[:0]
+	for i, f := range forwarded {
+		if err := c.Correlate(scratch, f, local, maxLag); err != nil {
+			return fmt.Errorf("relaysel: relay %d: %w", i, err)
+		}
+		sel.Reports = append(sel.Reports, RelayReport{Index: i, LagSamples: scratch.LagSamples, Peak: scratch.Peak})
+	}
+	// Insertion sort by descending lag: stable, allocation-free, and the
+	// relay count is small.
+	for i := 1; i < len(sel.Reports); i++ {
+		r := sel.Reports[i]
+		j := i - 1
+		for ; j >= 0 && sel.Reports[j].LagSamples < r.LagSamples; j-- {
+			sel.Reports[j+1] = sel.Reports[j]
+		}
+		sel.Reports[j+1] = r
+	}
 	top := sel.Reports[0]
 	if top.LagSamples >= minLead && top.Peak >= minPeak {
 		sel.Best = top.Index
 	}
-	return sel, nil
+	return nil
 }

@@ -27,6 +27,12 @@ type Tracker struct {
 	pendingRun int
 	rounds     int
 	switches   int
+
+	// Reused per-round correlation state: selection rounds in steady state
+	// allocate nothing.
+	corr    *Correlator
+	corrOut Correlation
+	sel     Selection
 }
 
 // TrackerConfig configures a Tracker.
@@ -74,6 +80,10 @@ func NewTracker(cfg TrackerConfig) (*Tracker, error) {
 	if cfg.Hysteresis <= 0 {
 		cfg.Hysteresis = 2
 	}
+	corr, err := NewCorrelator(cfg.WindowSamples)
+	if err != nil {
+		return nil, err
+	}
 	t := &Tracker{
 		interval:   cfg.IntervalSamples,
 		window:     cfg.WindowSamples,
@@ -85,6 +95,7 @@ func NewTracker(cfg TrackerConfig) (*Tracker, error) {
 		bufLocal:   make([]float64, cfg.WindowSamples),
 		current:    -1,
 		pendingID:  -1,
+		corr:       corr,
 	}
 	t.bufFwd = make([][]float64, cfg.Relays)
 	for i := range t.bufFwd {
@@ -110,12 +121,11 @@ func (t *Tracker) Push(local float64, forwarded []float64) (bool, error) {
 	if t.fill < t.window || t.fill%t.interval != 0 {
 		return false, nil
 	}
-	sel, err := SelectRelay(t.bufFwd, t.bufLocal, t.maxLag, t.minLead, t.minPeak)
-	if err != nil {
+	if err := t.corr.SelectInto(&t.sel, &t.corrOut, t.bufFwd, t.bufLocal, t.maxLag, t.minLead, t.minPeak); err != nil {
 		return false, err
 	}
 	t.rounds++
-	t.consider(sel.Best)
+	t.consider(t.sel.Best)
 	return true, nil
 }
 

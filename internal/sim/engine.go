@@ -128,6 +128,22 @@ type Params struct {
 	// defaults).
 	DriftConfig *stream.DriftConfig
 
+	// BlockFDAF replaces the sample-by-sample LANC with the partitioned
+	// frequency-domain canceller (core.BlockLANC): anti-noise is produced
+	// in blocks of BlockSize samples, trading B−1 samples of lookahead for
+	// FFT-economics filtering. It applies to the LANC schemes only and is
+	// incompatible with the packetized transport, supervisor, profiling,
+	// and clock-fault machinery (all sample-clocked).
+	BlockFDAF bool
+	// BlockSize is the FDAF block size B in samples (power of two,
+	// 0 = 32). The block path spends B−1 samples of the lookahead budget
+	// on block latency, so keep B comfortably under the scene's lookahead.
+	BlockSize int
+	// BlockMu is the FDAF per-bin normalized step (0 = 0.4). It is scaled
+	// per frequency bin, so its useful range (0.1–1) differs from the
+	// sample-domain Mu.
+	BlockMu float64
+
 	// CausalTaps is LANC's causal filter length L.
 	CausalTaps int
 	// MaxNonCausalTaps caps N regardless of the available lookahead
@@ -254,6 +270,12 @@ func Run(p Params, scheme Scheme) (*Result, error) {
 	if p.ExtraReferenceDelay < 0 {
 		return nil, fmt.Errorf("sim: negative extra reference delay %d", p.ExtraReferenceDelay)
 	}
+	if p.BlockFDAF {
+		if p.Supervise || p.Profiling || p.LossTransport != nil ||
+			p.ClockSkewPPM != 0 || p.ClockSkewWanderPPM != 0 || p.DriftCorrect {
+			return nil, fmt.Errorf("sim: BlockFDAF is incompatible with the transport/supervisor/profiling/clock-fault options")
+		}
+	}
 	fs := p.Scene.SampleRate
 	n := int(p.Duration * fs)
 	if n < 1 {
@@ -282,9 +304,12 @@ func Run(p Params, scheme Scheme) (*Result, error) {
 		wave := audio.Render(src.Gen, n)
 		// Pre-render via the convolver's block path: room IRs are long
 		// enough that partitioned overlap-save beats direct convolution,
-		// and the streaming-from-zero semantics match ConvolveSame.
-		refStreams = append(refStreams, dsp.NewStreamConvolver(hnr).ProcessBlock(wave))
-		earStreams = append(earStreams, dsp.NewStreamConvolver(hne).ProcessBlock(wave))
+		// and the streaming-from-zero semantics match ConvolveSame. The
+		// render cache folds the repeated per-scheme renders of one scene
+		// into a single convolution (bit-identical by construction); the
+		// shared slices are read-only from here on.
+		refStreams = append(refStreams, acousticRenders.render(wave, hnr))
+		earStreams = append(earStreams, acousticRenders.render(wave, hne))
 	}
 	ref := sumStreams(refStreams, n)
 	open := sumStreams(earStreams, n)
@@ -299,22 +324,37 @@ func Run(p Params, scheme Scheme) (*Result, error) {
 		return nil, err
 	}
 	var forwarded []float64
-	if p.UseFMLink {
+	// The Bose schemes never read the forwarded reference (their mic is
+	// local), so the capture chain only runs when the canceller — or an
+	// attached trace, which records forwarded block levels for every
+	// scheme — consumes it. Relay parameter validation above still applies
+	// to all schemes.
+	switch {
+	case !scheme.usesLANC() && p.Trace == nil:
+	case p.UseFMLink:
 		forwarded, err = relay.Forward(ref, p.Channel)
 		if err != nil {
 			return nil, fmt.Errorf("sim: FM link: %w", err)
 		}
-	} else {
-		forwarded = relay.Capture(ref)
+	default:
+		// The analog capture is deterministic in (ref, relay params), so
+		// schemes of one figure share a single render. The cached slice is
+		// shared: copy before any in-place processing below.
+		forwarded = acousticRenders.memoized(ref, []float64{
+			p.Relay.MicNoiseRMS, p.Relay.LPFCutoffHz, p.Relay.Gain,
+			float64(p.Relay.Seed), fs,
+		}, renderKindCapture, func() []float64 { return relay.Capture(ref) })
 	}
-	if p.ExtraReferenceDelay > 0 {
+	if p.ExtraReferenceDelay > 0 && forwarded != nil {
 		dl, err := dsp.NewDelayLine(p.ExtraReferenceDelay)
 		if err != nil {
 			return nil, err
 		}
+		shifted := make([]float64, len(forwarded))
 		for i, v := range forwarded {
-			forwarded[i] = dl.Process(v)
+			shifted[i] = dl.Process(v)
 		}
+		forwarded = shifted
 	}
 	if p.Telemetry != nil {
 		p.Telemetry.Timer("sim.stage.link").Since(stageStart)
@@ -328,8 +368,10 @@ func Run(p Params, scheme Scheme) (*Result, error) {
 			return nil, err
 		}
 		// The cup model is minimum-phase (no bulk group delay), so plain
-		// causal convolution is the physically faithful application.
-		underCup = dsp.ConvolveSame(open, passive)
+		// causal convolution is the physically faithful application. Every
+		// passive scheme of a figure applies the same cup to the same open
+		// field, so the render is memoized like the room acoustics.
+		underCup = acousticRenders.renderSame(open, passive)
 	}
 
 	// --- Secondary (speaker → error mic) chain ------------------------------
@@ -386,6 +428,81 @@ func Run(p Params, scheme Scheme) (*Result, error) {
 	case scheme == PassiveOnly:
 		copy(on, underCup)
 		copy(residual, underCup)
+	case scheme.usesLANC() && p.BlockFDAF:
+		// Partitioned frequency-domain path: anti-noise is produced one
+		// block at a time, adapting on the previous block's error. The
+		// forwarded stream leads the wavefront by the scene lookahead, out
+		// of which B−1 samples fund the block latency (the last sample of a
+		// block is committed B−1 samples before its error is observable).
+		bsize := p.BlockSize
+		if bsize == 0 {
+			bsize = 32
+		}
+		la := res.LookaheadSamples - p.ExtraReferenceDelay - (bsize - 1)
+		if la < 0 {
+			la = 0
+		}
+		budget, err := core.NewBudget(la, p.Pipeline)
+		if err != nil {
+			return nil, err
+		}
+		nTaps := budget.UsableTaps
+		if p.MaxNonCausalTaps > 0 && nTaps > p.MaxNonCausalTaps {
+			nTaps = p.MaxNonCausalTaps
+		}
+		res.Budget = budget
+		res.UsedNonCausalTaps = nTaps
+		res.BudgetSpend = budgetSpend(fs, res.LookaheadSamples, 0, p.ExtraReferenceDelay, 0, bsize-1, p.Pipeline, nTaps)
+		res.BudgetSpend.Record(p.Trace)
+		blockMu := p.BlockMu
+		if blockMu == 0 {
+			blockMu = 0.4
+		}
+		bl, err := core.NewBlock(core.BlockConfig{
+			FilterTaps:    p.CausalTaps + nTaps,
+			BlockSize:     bsize,
+			Mu:            blockMu,
+			SecondaryPath: secEst,
+			NonCausalTaps: nTaps,
+		})
+		if err != nil {
+			return nil, err
+		}
+		var blockNS *telemetry.Histogram
+		if p.Telemetry != nil {
+			blockNS = p.Telemetry.Histogram("lanc.block_ns", telemetry.HistogramOpts{Lo: 1e3, Ratio: 2, Buckets: 20})
+		}
+		xBlk := make([]float64, bsize)
+		aBlk := make([]float64, bsize)
+		eBlk := make([]float64, bsize)
+		for t0 := 0; t0 < n; t0 += bsize {
+			m := min(bsize, n-t0)
+			copy(xBlk, forwarded[t0:t0+m])
+			for i := m; i < bsize; i++ {
+				xBlk[i] = 0
+			}
+			blockStart := time.Now()
+			if err := bl.ProcessBlockInto(aBlk, xBlk, eBlk); err != nil {
+				return nil, err
+			}
+			if blockNS != nil {
+				blockNS.Observe(float64(time.Since(blockStart).Nanoseconds()))
+			}
+			for i := 0; i < m; i++ {
+				t := t0 + i
+				meas := underCup[t] + secCh.Process(aBlk[i])
+				on[t] = meas
+				e := meas
+				if p.EarMicNoiseRMS != 0 {
+					e += p.EarMicNoiseRMS * earNoise.Norm()
+				}
+				residual[t] = e
+				eBlk[i] = e
+			}
+			for i := m; i < bsize; i++ {
+				eBlk[i] = 0
+			}
+		}
 	case scheme.usesLANC():
 		// The packetized transport replaces the ideal reference wire with
 		// framed, lossy delivery plus a concealment mask. Its playout
@@ -467,7 +584,7 @@ func Run(p Params, scheme Scheme) (*Result, error) {
 		}
 		res.Budget = budget
 		res.UsedNonCausalTaps = nTaps
-		res.BudgetSpend = budgetSpend(fs, res.LookaheadSamples, prime, p.ExtraReferenceDelay, driftGuard, p.Pipeline, nTaps)
+		res.BudgetSpend = budgetSpend(fs, res.LookaheadSamples, prime, p.ExtraReferenceDelay, driftGuard, 0, p.Pipeline, nTaps)
 		res.BudgetSpend.Record(p.Trace)
 		cfg := core.Config{
 			NonCausalTaps:    nTaps,
@@ -556,7 +673,10 @@ func Run(p Params, scheme Scheme) (*Result, error) {
 			}
 			meas := underCup[t] + secCh.Process(a)
 			on[t] = meas
-			e = meas + p.EarMicNoiseRMS*earNoise.Norm()
+			e = meas
+			if p.EarMicNoiseRMS != 0 {
+				e += p.EarMicNoiseRMS * earNoise.Norm()
+			}
 			residual[t] = e
 		}
 		res.Switches = lanc.Switches()
@@ -580,7 +700,13 @@ func Run(p Params, scheme Scheme) (*Result, error) {
 			a := hp.Step(open[t], e)
 			meas := underCup[t] + secCh.Process(a)
 			on[t] = meas
-			e = meas + p.EarMicNoiseRMS*earNoise.Norm()
+			e = meas
+			if p.EarMicNoiseRMS != 0 {
+				// Skipping the draw at zero RMS leaves every sample's bits
+				// unchanged (0·Norm() only ever adds a signed zero) and
+				// spares a Box-Muller transform per sample.
+				e += p.EarMicNoiseRMS * earNoise.Norm()
+			}
 			residual[t] = e
 		}
 	}
@@ -605,11 +731,14 @@ func Run(p Params, scheme Scheme) (*Result, error) {
 // deliberate delayed-line injection, the Equation 3 pipeline, the
 // non-causal taps, and the slack left over (negative "overdrawn" when the
 // deadline is missed), so the entries always sum to the lookahead.
-func budgetSpend(fs float64, lookahead, prime, extraDelay, driftGuard int, pipe core.PipelineDelays, nTaps int) *telemetry.BudgetReport {
+func budgetSpend(fs float64, lookahead, prime, extraDelay, driftGuard, blockLat int, pipe core.PipelineDelays, nTaps int) *telemetry.BudgetReport {
 	b := telemetry.NewBudgetReport(fs, lookahead)
 	b.Add("transport.prime", prime)
 	if driftGuard > 0 {
 		b.Add("drift.resampler", driftGuard)
+	}
+	if blockLat > 0 {
+		b.Add("fdaf.block_latency", blockLat)
 	}
 	b.Add("reference.extra_delay", extraDelay)
 	b.Add("pipeline.adc", pipe.ADC)
