@@ -24,11 +24,8 @@ package main
 
 import (
 	"encoding/json"
-	_ "expvar" // registers /debug/vars on the default mux
 	"flag"
 	"fmt"
-	"net/http"
-	_ "net/http/pprof"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -115,11 +112,13 @@ func main() {
 	}
 	if *debugAddr != "" {
 		telemetry.PublishExpvar("mute", reg)
-		go func() {
-			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
-				fmt.Fprintln(os.Stderr, "mutebench: debug endpoint:", err)
-			}
-		}()
+		// Dedicated mux, bound synchronously: a bad address fails the run
+		// up front instead of printing from a goroutine mid-sweep.
+		bound, err := telemetry.ServeDebug(*debugAddr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "mutebench: expvar/pprof on http://%s/debug/vars\n", bound)
 	}
 	var figs []*experiments.Figure
 	if *figID == "all" {

@@ -5,6 +5,12 @@
 // acoustic lookahead and shaped by a multipath channel stands in for the
 // sound wavefront that would reach the ear later than the radio did.
 //
+// The cancellation pipeline itself is not wired here: muteear binds its
+// live sources (the UDP receiver, the drift-corrected resampler, the
+// derived acoustic leg) to the same pipeline graph the simulator
+// instantiates (mute.BuildPipeline), so the live loop and the simulated
+// one cannot diverge stage by stage.
+//
 // Usage:
 //
 //	muteear -listen 127.0.0.1:9950 -duration 12 -lookahead-ms 8
@@ -34,11 +40,8 @@
 package main
 
 import (
-	_ "expvar" // registers /debug/vars on the default mux
 	"flag"
 	"fmt"
-	"net/http"
-	_ "net/http/pprof"
 	"os"
 	"time"
 
@@ -61,6 +64,7 @@ func main() {
 	flag.Parse()
 
 	const fs = 8000.0
+	const fsInt = 8000
 	rx, err := mute.NewReceiver(*listen, 256)
 	if err != nil {
 		fatal(err)
@@ -86,49 +90,29 @@ func main() {
 	}
 	earChannel := dsp.NewStreamConvolver([]float64{0.8, 0.25, 0.1, 0.05})
 	secPath := []float64{0.85, 0.22, 0.06}
-	secChannel := dsp.NewStreamConvolver(secPath)
 
-	pd := mute.PipelineDelays{ADC: 1, DSP: 1, DAC: 1, Speaker: 1}
-	budget, err := mute.PlanBudget(lookahead-driftGuard, pd)
-	if err != nil {
-		fatal(err)
-	}
-	lanc, err := mute.NewCanceller(mute.CancellerConfig{
-		NonCausalTaps: budget.UsableTaps,
-		CausalTaps:    64,
-		Mu:            0.1,
-		Normalized:    true,
-		SecondaryPath: secPath,
-		LossAware:     *lossAware,
-	})
-	if err != nil {
-		fatal(err)
-	}
-	// Observability: the budget report shows where the configured lookahead
-	// goes (its entries sum to `lookahead` by construction); the optional
-	// trace records per-block pipeline state on the sample clock; the
-	// registry backs the expvar endpoint.
-	report := earBudget(fs, lookahead, pd, budget.UsableTaps, driftGuard)
-	fmt.Print(report.Text())
 	var tr *mute.Trace
 	if *traceOut != "" {
 		tr = mute.NewTrace()
-		report.Record(tr)
 	}
-	var sup *mute.Supervisor
-	if *supervise {
-		fb, err := mute.NewLocalCanceller(mute.DefaultLocalCancellerConfig(fs, secPath))
+	reg := mute.NewTelemetry()
+	if *debugAddr != "" {
+		mute.PublishTelemetry("mute", reg)
+		// Bind before the audio loop starts: a bad address or occupied
+		// port must fail the run, not surface minutes later from a
+		// goroutine. The dedicated mux keeps handlers other packages
+		// register off the debug port.
+		bound, err := mute.ServeDebug(*debugAddr)
 		if err != nil {
 			fatal(err)
 		}
-		scfg := mute.DefaultSupervisorConfig()
-		scfg.Trace = tr // nil is fine: transitions then go unrecorded
-		sup, err = mute.NewSupervisor(scfg, lanc, fb)
-		if err != nil {
-			fatal(err)
-		}
+		fmt.Printf("muteear: expvar/pprof on http://%s/debug/vars\n", bound)
 	}
+
+	start := time.Now()
 	var est *mute.DriftEstimator
+	ref := mute.SampleSource(&mute.ReceiverSource{Buf: rx})
+	var driftCtl mute.DriftControl
 	var rs *mute.VariRateResampler
 	if *driftOn {
 		// Live arrivals carry ~0.5 ms of scheduler jitter, so the slope
@@ -141,20 +125,12 @@ func main() {
 			fatal(err)
 		}
 		rs = mute.NewVariRateResampler()
-	}
-	reg := mute.NewTelemetry()
-	if *debugAddr != "" {
-		mute.PublishTelemetry("mute", reg)
-		go func() {
-			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
-				fmt.Fprintln(os.Stderr, "muteear: debug endpoint:", err)
-			}
-		}()
-		fmt.Printf("muteear: expvar/pprof on http://%s/debug/vars\n", *debugAddr)
-	}
-
-	start := time.Now()
-	if est != nil {
+		ref = &mute.DriftSource{Inner: ref, Est: est, RS: rs}
+		driftCtl = &mute.LiveDrift{
+			Est:   est,
+			Every: int64(*frame),
+			Now:   func() float64 { return time.Since(start).Seconds() * fs },
+		}
 		// Every direct data frame contributes one (relay timestamp,
 		// ear-clock arrival) pair; the wall clock in sample units is the
 		// ear's oscillator as far as the slope fit is concerned.
@@ -162,89 +138,65 @@ func main() {
 			est.Observe(ts, time.Since(start).Seconds()*fs)
 		})
 	}
+
+	pl, err := mute.BuildPipeline(mute.PipelineConfig{
+		SampleRate: fs,
+		Lookahead:  lookahead,
+		DriftGuard: driftGuard,
+		Pipeline:   mute.PipelineDelays{ADC: 1, DSP: 1, DAC: 1, Speaker: 1},
+		Canceller: mute.PipelineCancellerParams{
+			CausalTaps:    64,
+			Mu:            0.1,
+			SecondaryPath: secPath,
+			LossAware:     *lossAware,
+		},
+		Supervise:         *supervise,
+		FallbackSecondary: secPath,
+		Reference:         ref,
+		Ambient:           &mute.DerivedAmbient{Delay: acousticDelay, Channel: earChannel},
+		Drift:             driftCtl,
+		SecondaryIR:       secPath,
+		Trace:             tr,
+		TraceBlock:        *frame,
+		LiveHooks:         true,
+		Telemetry:         reg,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	// The budget report shows where the configured lookahead goes (its
+	// entries sum to `lookahead` by construction, and land in the trace as
+	// budget-stage events).
+	fmt.Print(pl.Spend.Text())
+
 	deadline := start.Add(time.Duration(*duration * float64(time.Second)))
-	interval := time.Duration(float64(*frame) / fs * float64(time.Second))
-	block := make([]float64, *frame)
-	mask := make([]bool, *frame)
-	var noisePow, resPow float64
-	var samples int
-	e := 0.0
-	next := start
+	var blocks int64
 	for time.Now().Before(deadline) {
 		// Receive until the next block boundary: Poll blocks until a
 		// datagram lands or the boundary passes, so the poll window itself
 		// paces the loop at the audio clock AND every frame is observed at
 		// its true arrival instant — the x-axis of the drift estimator's
 		// slope fit. (Draining once per block and sleeping would batch
-		// arrivals at the ear's loop period and bias the fit.)
-		next = next.Add(interval)
+		// arrivals at the ear's loop period and bias the fit.) The boundary
+		// is computed in integer arithmetic from the block count — a
+		// truncated per-block interval would accumulate into an artificial
+		// skew the estimator then pins on the relay.
+		blocks++
+		next := mute.BlockDeadline(start, blocks, int64(*frame), fsInt)
 		for {
 			d := time.Until(next)
 			if d <= 0 {
 				break
 			}
 			if _, err := rx.Poll(d); err != nil {
-				fmt.Fprintln(os.Stderr, "muteear: drop:", err)
+				// Poll returns nil on timeouts and corrupt datagrams (those
+				// are counted in the jitter stats); an error here is a real
+				// socket failure.
+				fmt.Fprintln(os.Stderr, "muteear: receive error:", err)
 			}
 		}
-		if rs != nil {
-			// Slave the reference to the local clock: consume jitter-buffer
-			// output at the estimated relay rate, one output sample at a
-			// time. Until the estimator locks the rate stays exactly 1 and
-			// the resampler is a bit-exact passthrough.
-			if est.Locked() {
-				rs.SetRate(1 + est.PPM()*1e-6)
-			}
-			var v [1]float64
-			var m [1]bool
-			for i := range block {
-				for !rs.Ready() {
-					rx.PopMask(v[:], m[:])
-					rs.Push(v[0], m[0])
-				}
-				block[i], mask[i], _ = rs.Pop()
-			}
-			if sup != nil {
-				sup.ObserveDrift(est.PPM(), est.Estimable(time.Since(start).Seconds()*fs))
-			}
-		} else {
-			rx.PopMask(block, mask)
-		}
-		var blockRes float64
-		for i, x := range block {
-			// The acoustic wavefront for this instant left the source
-			// `lookahead` samples ago; reconstruct it from the delayed
-			// reference and cancel it.
-			d := earChannel.Process(acousticDelay.Process(x))
-			var a float64
-			if sup != nil {
-				a = sup.Step(x, d, e, mask[i])
-			} else {
-				lanc.Adapt(e)
-				lanc.PushMasked(x, mask[i])
-				a = lanc.AntiNoise()
-			}
-			e = d + secChannel.Process(a)
-			noisePow += d * d
-			resPow += e * e
-			blockRes += e * e
-			samples++
-		}
-		if tr != nil {
-			traceBlock(tr, int64(samples), rx, lanc, blockRes, *frame)
-			if est != nil {
-				traceDrift(tr, int64(samples), est, rs.Rate())
-			}
-			if sup != nil {
-				sup.TraceState(tr, int64(samples))
-			}
-		}
-		reg.Counter("ear.samples").Add(int64(*frame))
-		reg.Gauge("ear.tap_energy").Set(lanc.TapEnergy())
-		reg.Gauge("ear.buffered_frames").Set(float64(rx.Buffered()))
-		if est != nil {
-			reg.Gauge("drift.est_ppm").Set(est.PPM())
-			reg.Gauge("drift.rate_ppm").Set((rs.Rate() - 1) * 1e6)
+		if _, err := pl.ProcessBlock(*frame); err != nil {
+			fatal(err)
 		}
 	}
 	st := rx.Stats()
@@ -255,14 +207,15 @@ func main() {
 		}
 		fmt.Printf("muteear: wrote %d trace events to %s\n", tr.Len(), *traceOut)
 	}
-	fmt.Printf("muteear: %d samples, %d frames received (%d late, %d dropped), %d samples concealed, %d frames FEC-recovered\n",
-		samples, st.FramesReceived, st.FramesLate, st.FramesDropped, st.SamplesConcealed, rx.Recovered())
+	samples := pl.Samples()
+	fmt.Printf("muteear: %d samples, %d frames received (%d late, %d dropped, %d corrupt), %d samples concealed, %d frames FEC-recovered\n",
+		samples, st.FramesReceived, st.FramesLate, st.FramesDropped, st.FramesCorrupt, st.SamplesConcealed, rx.Recovered())
 	if est != nil {
 		fmt.Printf("muteear: drift estimate %+.1f ppm from %d frames (locked=%v, resampler rate %.6f)\n",
 			est.PPM(), est.Observations(), est.Locked(), rs.Rate())
 	}
-	if sup != nil {
-		rep := sup.Report()
+	if pl.Sup != nil {
+		rep := pl.Sup.Report()
 		fmt.Printf("muteear: supervisor ended in %s after %d transitions (%d probes, %d warm starts)\n",
 			rep.FinalState, len(rep.Transitions), rep.Probes, rep.WarmStarts)
 		for rung := mute.StateLANC; rung <= mute.StatePassthrough; rung++ {
@@ -272,9 +225,10 @@ func main() {
 			}
 		}
 	}
+	noisePow, resPow := pl.Meters()
 	if noisePow > 0 && resPow > 0 {
 		fmt.Printf("muteear: cancellation %.1f dB (lookahead %d samples, N=%d non-causal taps)\n",
-			dsp.DB(resPow/noisePow), lookahead, budget.UsableTaps)
+			dsp.DB(resPow/noisePow), lookahead, pl.NonCausalTaps)
 	} else {
 		fmt.Println("muteear: no audio received")
 	}

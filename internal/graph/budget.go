@@ -1,0 +1,38 @@
+package graph
+
+import (
+	"mute/internal/core"
+	"mute/internal/telemetry"
+)
+
+// Plan itemizes a pipeline's lookahead: playout buffering, the drift
+// resampler's interpolation guard, FDAF block latency, the deliberate
+// delayed-line injection, the Equation 3 processing pipeline, the
+// non-causal taps the canceller was granted, and the slack left over
+// (negative "overdrawn" when the deadline is missed). The entries always
+// sum to the lookahead exactly, so the report is an accounting identity,
+// not an estimate — the invariant the golden-trace suite checks on every
+// traced run.
+func Plan(fs float64, lookahead, prime, extraDelay, driftGuard, blockLat int, pipe core.PipelineDelays, nTaps int) *telemetry.BudgetReport {
+	b := telemetry.NewBudgetReport(fs, lookahead)
+	b.Add("transport.prime", prime)
+	if driftGuard > 0 {
+		b.Add("drift.resampler", driftGuard)
+	}
+	if blockLat > 0 {
+		b.Add("fdaf.block_latency", blockLat)
+	}
+	b.Add("reference.extra_delay", extraDelay)
+	b.Add("pipeline.adc", pipe.ADC)
+	b.Add("pipeline.dsp", pipe.DSP)
+	b.Add("pipeline.dac", pipe.DAC)
+	b.Add("pipeline.speaker", pipe.Speaker)
+	b.Add("lanc.noncausal_taps", nTaps)
+	rest := lookahead - b.SpentSamples()
+	if rest >= 0 {
+		b.Add("unused", rest)
+	} else {
+		b.Add("overdrawn", rest)
+	}
+	return b
+}

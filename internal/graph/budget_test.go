@@ -1,0 +1,110 @@
+package graph
+
+import (
+	"testing"
+
+	"mute/internal/core"
+	"mute/internal/telemetry"
+)
+
+// TestPlanBalanced pins the accounting identity: the per-stage budget
+// entries always sum to the configured lookahead, whatever split the
+// core planner chose, and the identity survives serialization into trace
+// events.
+func TestPlanBalanced(t *testing.T) {
+	pd := core.PipelineDelays{ADC: 1, DSP: 1, DAC: 1, Speaker: 1}
+	for _, lookahead := range []int{5, 8, 40, 64, 70, 128, 500} {
+		budget, err := core.NewBudget(lookahead, pd)
+		if err != nil {
+			t.Fatalf("NewBudget(%d): %v", lookahead, err)
+		}
+		rep := Plan(8000, lookahead, 0, 0, 0, 0, pd, budget.UsableTaps)
+		if !rep.Balanced() {
+			t.Errorf("lookahead %d: budget unbalanced: spent %d", lookahead, rep.SpentSamples())
+		}
+		if got := rep.SpentSamples(); got != lookahead {
+			t.Errorf("lookahead %d: entries sum to %d", lookahead, got)
+		}
+
+		tr := telemetry.NewTrace()
+		rep.Record(tr)
+		var sum float64
+		for _, ev := range tr.Events() {
+			if ev.Stage != telemetry.StageBudget {
+				continue
+			}
+			sum += ev.Values["samples"]
+		}
+		if int(sum) != lookahead {
+			t.Errorf("lookahead %d: traced budget events sum to %g", lookahead, sum)
+		}
+	}
+}
+
+// TestPlanOverdrawn checks that an impossible grant is reported, not
+// silently mis-summed: the overdrawn entry keeps the identity intact.
+func TestPlanOverdrawn(t *testing.T) {
+	pd := core.PipelineDelays{ADC: 1, DSP: 1, DAC: 1, Speaker: 1}
+	rep := Plan(8000, 10, 0, 0, 0, 0, pd, 32) // 4 + 32 > 10
+	if got := rep.SpentSamples(); got != 10 {
+		t.Fatalf("overdrawn budget sums to %d, want 10", got)
+	}
+	found := false
+	for _, e := range rep.Entries {
+		if e.Stage == "overdrawn" && e.Samples < 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no negative overdrawn entry in an over-granted budget")
+	}
+}
+
+// TestPlanDriftGuard checks the drift-correction debit: the resampler's
+// 2-sample interpolation future appears as its own entry and the identity
+// still holds when taps were planned on the reduced grant.
+func TestPlanDriftGuard(t *testing.T) {
+	pd := core.PipelineDelays{ADC: 1, DSP: 1, DAC: 1, Speaker: 1}
+	const lookahead, guard = 64, 2
+	budget, err := core.NewBudget(lookahead-guard, pd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Plan(8000, lookahead, 0, 0, guard, 0, pd, budget.UsableTaps)
+	if got := rep.SpentSamples(); got != lookahead {
+		t.Errorf("drift-guarded budget sums to %d, want %d", got, lookahead)
+	}
+	found := false
+	for _, e := range rep.Entries {
+		if e.Stage == "drift.resampler" && e.Samples == guard {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no drift.resampler entry in a drift-corrected budget")
+	}
+}
+
+// TestPlanBlockLatency checks the FDAF debit: block latency appears as
+// its own entry with the identity intact.
+func TestPlanBlockLatency(t *testing.T) {
+	pd := core.PipelineDelays{ADC: 1, DSP: 1, DAC: 1, Speaker: 1}
+	const lookahead, blockLat = 128, 63
+	budget, err := core.NewBudget(lookahead-blockLat, pd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Plan(8000, lookahead, 0, 0, 0, blockLat, pd, budget.UsableTaps)
+	if got := rep.SpentSamples(); got != lookahead {
+		t.Errorf("block-latency budget sums to %d, want %d", got, lookahead)
+	}
+	found := false
+	for _, e := range rep.Entries {
+		if e.Stage == "fdaf.block_latency" && e.Samples == blockLat {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no fdaf.block_latency entry in an FDAF budget")
+	}
+}

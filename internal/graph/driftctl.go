@@ -1,0 +1,66 @@
+package graph
+
+import "mute/internal/stream"
+
+// DriftObservation is one recorded drift-estimator window, pinned to the
+// pipeline-clock sample it becomes visible at.
+type DriftObservation struct {
+	// At is the sample index on the pipeline clock.
+	At int64
+	// PPM is the estimator's filtered skew estimate at that window.
+	PPM float64
+	// Locked reports whether the estimator had enough observations.
+	Locked bool
+}
+
+// DriftReplay replays an offline transport run's drift-stage decisions
+// onto the pipeline clock — the simulator's binding, where the
+// packetized transport (and its estimator) already ran ahead of the
+// cancellation loop. Adaptation holds fire at suspected oscillator steps
+// (the alignment is about to slew), and per-window estimator state feeds
+// the supervisor's health view. Windows must be sorted by At.
+type DriftReplay struct {
+	// Windows is the estimator state per playout window (ignored when no
+	// supervisor is attached — ObserveDrift is dropped).
+	Windows []DriftObservation
+	// Holds marks the samples at which adaptation must hold.
+	Holds map[int64]bool
+	// HoldSamples is the hold length applied at each marked sample.
+	HoldSamples int
+
+	wi int
+}
+
+// Tick replays any window landing at t and applies scheduled holds.
+func (d *DriftReplay) Tick(t int64, c Controls) {
+	for d.wi < len(d.Windows) && d.Windows[d.wi].At <= t {
+		if d.Windows[d.wi].At == t {
+			c.ObserveDrift(d.Windows[d.wi].PPM, d.Windows[d.wi].Locked)
+		}
+		d.wi++
+	}
+	if d.Holds[t] {
+		c.Hold(d.HoldSamples, 0)
+	}
+}
+
+// LiveDrift forwards an online drift estimator's state to the supervisor
+// once per processing block — the live CLI's binding, where the
+// estimator is fed by the receiver's frame observer concurrently with
+// the loop.
+type LiveDrift struct {
+	// Est is the online skew estimator.
+	Est *stream.DriftEstimator
+	// Every is the reporting cadence in samples (the processing block).
+	Every int64
+	// Now returns the current ear-clock time in samples — the estimator's
+	// arrival axis.
+	Now func() float64
+}
+
+// Tick reports estimator state at block boundaries.
+func (d *LiveDrift) Tick(t int64, c Controls) {
+	if d.Every > 0 && t%d.Every == 0 {
+		c.ObserveDrift(d.Est.PPM(), d.Est.Estimable(d.Now()))
+	}
+}

@@ -1,0 +1,23 @@
+package graph
+
+import "time"
+
+// BlockDeadline returns the wall-clock instant at which processing block
+// n (1-based) of frame samples each should fire, for a loop started at
+// start with an integer sample rate of fs Hz.
+//
+// The boundary is computed in integer arithmetic as
+// start + n·frame·second/fs, so it is exact to the nanosecond for every
+// (frame, fs) pair: deriving it by repeatedly adding a truncated
+// per-block time.Duration accumulates the truncation into a systematic
+// sub-ppm skew between the block clock and the sample clock, which a
+// drift estimator then misattributes to the relay oscillator. Whole
+// seconds are split off first so the intermediate product cannot
+// overflow for any realistic runtime.
+func BlockDeadline(start time.Time, n, frame, fs int64) time.Time {
+	samples := n * frame
+	whole := samples / fs
+	rem := samples % fs
+	return start.Add(time.Duration(whole)*time.Second +
+		time.Duration(rem*int64(time.Second)/fs))
+}

@@ -1,0 +1,103 @@
+package graph
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"mute/internal/stream"
+)
+
+// TestBlockDeadlineExact pins the integer arithmetic: every boundary is
+// within one nanosecond of the ideal n·frame/fs instant, and the error
+// does not accumulate with n — the property the float-interval pacing it
+// replaced lacked.
+func TestBlockDeadlineExact(t *testing.T) {
+	start := time.Unix(1000, 0)
+	for _, tc := range []struct{ frame, fs int64 }{
+		{80, 8000}, {33, 8000}, {1001, 8000}, {160, 8000},
+		{100, 44100}, {441, 44100}, {128, 48000}, {1, 8000},
+	} {
+		for _, n := range []int64{1, 2, 3, 100, 9999, 1e6} {
+			d := BlockDeadline(start, n, tc.frame, tc.fs).Sub(start)
+			idealNs := float64(n*tc.frame) * 1e9 / float64(tc.fs)
+			if dev := math.Abs(float64(d.Nanoseconds()) - idealNs); dev >= 1 {
+				t.Errorf("frame=%d fs=%d n=%d: boundary off ideal by %.3f ns",
+					tc.frame, tc.fs, n, dev)
+			}
+		}
+	}
+}
+
+// TestBlockDeadlineZeroSkewReportsZeroPPM is the block-pacing regression
+// test: a zero-skew live loop — frames timestamped on the relay sample
+// clock and observed at BlockDeadline boundaries of the very same clock —
+// must leave the drift estimator reading 0.0 ppm. This covers the CLI
+// default frame size and a truncating one (odd frames above 1000 are
+// where the old float interval lost a nanosecond per block at 8 kHz).
+func TestBlockDeadlineZeroSkewReportsZeroPPM(t *testing.T) {
+	start := time.Unix(1000, 0)
+	for _, frame := range []int64{80, 1001} {
+		est, err := stream.NewDriftEstimator(stream.DriftConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := int64(1); k <= 400; k++ {
+			arrival := BlockDeadline(start, k, frame, 8000).Sub(start).Seconds() * 8000
+			est.Observe(uint64(k*frame), arrival)
+		}
+		if !est.Locked() {
+			t.Fatalf("frame=%d: estimator did not lock on 400 frames", frame)
+		}
+		if ppm := est.PPM(); math.Abs(ppm) > 1e-4 {
+			t.Errorf("frame=%d: zero-skew loop reports %+.6f ppm, want 0.0", frame, ppm)
+		}
+		if raw := est.RawPPM(); math.Abs(raw) > 1e-4 {
+			t.Errorf("frame=%d: zero-skew raw slope %+.6f ppm, want 0.0", frame, raw)
+		}
+	}
+}
+
+// TestTruncatedIntervalFakesSkew demonstrates the bug the integer boundary
+// fixed: pacing the same zero-skew frame stream by repeatedly adding a
+// truncated per-block time.Duration accumulates the truncation into an
+// artificial skew the estimator pins on the relay. At 44.1 kHz with
+// 100-sample blocks the per-block interval loses 0.696 ns, a systematic
+// −0.3 ppm; the BlockDeadline boundaries of the identical stream read 0.
+func TestTruncatedIntervalFakesSkew(t *testing.T) {
+	var frame, fs int64 = 100, 44100
+	interval := time.Duration(float64(frame) / float64(fs) * float64(time.Second))
+	if int64(interval)*fs == frame*int64(time.Second) {
+		t.Fatalf("premise lost: interval %v carries no fractional-nanosecond loss to accumulate", interval)
+	}
+
+	old, err := stream.NewDriftEstimator(stream.DriftConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Unix(1000, 0)
+	next := start
+	for k := int64(1); k <= 400; k++ {
+		next = next.Add(interval)
+		old.Observe(uint64(k*frame), next.Sub(start).Seconds()*float64(fs))
+	}
+	if ppm := old.PPM(); math.Abs(ppm) < 0.1 {
+		t.Errorf("accumulated truncated interval reports %+.6f ppm, expected an artificial skew beyond 0.1", ppm)
+	}
+
+	fixed, err := stream.NewDriftEstimator(stream.DriftConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := int64(1); k <= 400; k++ {
+		arrival := BlockDeadline(start, k, frame, fs).Sub(start).Seconds() * float64(fs)
+		fixed.Observe(uint64(k*frame), arrival)
+	}
+	// 44100 does not divide the nanosecond grid, so each boundary floors by
+	// under 1 ns — bounded jitter, not accumulating skew. The estimate must
+	// sit well under the hundredth-ppm noise floor that implies, two orders
+	// below the truncated interval's systematic reading.
+	if ppm := fixed.PPM(); math.Abs(ppm) > 0.01 {
+		t.Errorf("integer boundaries report %+.6f ppm, want under 0.01", ppm)
+	}
+}

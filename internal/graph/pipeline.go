@@ -1,0 +1,566 @@
+package graph
+
+import (
+	"fmt"
+	"time"
+
+	"mute/internal/audio"
+	"mute/internal/core"
+	"mute/internal/dsp"
+	"mute/internal/headphone"
+	"mute/internal/stream"
+	"mute/internal/supervisor"
+	"mute/internal/telemetry"
+)
+
+// CancellerParams is the canceller-policy slice of the pipeline
+// configuration: the tuning a caller legitimately varies. Everything
+// else about the canceller — leakage, the non-causal tap count (planned
+// from the lookahead budget), the sample rate — is fixed by Build, so a
+// policy constant cannot fork between deployments.
+type CancellerParams struct {
+	// CausalTaps is LANC's causal filter length L.
+	CausalTaps int
+	// Mu is the adaptation step size.
+	Mu float64
+	// PlainLMS disables NLMS power normalization (the paper's prototype).
+	PlainLMS bool
+	// SecondaryPath is the estimated speaker→error-mic chain ĥ_se.
+	SecondaryPath []float64
+	// LossAware gates adaptation on the concealment mask.
+	LossAware bool
+	// RecoveryRamp is the post-gap re-ramp length in samples (0 = core
+	// default).
+	RecoveryRamp int
+	// Profiling enables predictive filter switching; the remaining fields
+	// tune it (0 = core defaults).
+	Profiling        bool
+	ProfileWindow    int
+	ProfileHop       int
+	ProfileThreshold float64
+	MaxProfiles      int
+}
+
+// FDAFParams selects the partitioned frequency-domain canceller instead
+// of the sample-by-sample LANC: anti-noise is produced in blocks of
+// BlockSize samples, spending BlockSize−1 samples of lookahead on block
+// latency.
+type FDAFParams struct {
+	// BlockSize is the FDAF block size B in samples (power of two).
+	BlockSize int
+	// Mu is the per-bin normalized step.
+	Mu float64
+}
+
+// Config wires one cancellation pipeline. The required bindings are the
+// sample-clock inputs (Reference, Ambient) and the lookahead geometry;
+// everything else — supervisor, drift control, trace, telemetry, output
+// taps — is optional and nil-safe.
+type Config struct {
+	// SampleRate is the pipeline clock in Hz.
+	SampleRate float64
+	// Lookahead is the acoustic lookahead in samples the wireless leg
+	// provides — the budget every downstream stage spends from.
+	Lookahead int
+	// PrimeSamples is the playout buffering the packetized transport
+	// already consumed (0 for a live receiver, whose jitter buffer primes
+	// on the wire).
+	PrimeSamples int
+	// ExtraReferenceDelay is the deliberate delayed-line injection
+	// (Figure 16) in samples.
+	ExtraReferenceDelay int
+	// DriftGuard is the drift resampler's interpolation future (2 when a
+	// real skew is being corrected, else 0).
+	DriftGuard int
+	// Pipeline is the ear device's ADC/DSP/DAC/speaker latency
+	// (Equation 3).
+	Pipeline core.PipelineDelays
+	// MaxNonCausalTaps caps the planned N regardless of lookahead
+	// (0 = no cap).
+	MaxNonCausalTaps int
+	// Canceller is the sample-domain canceller policy.
+	Canceller CancellerParams
+	// FDAF, when non-nil, replaces the sample-domain canceller with the
+	// block frequency-domain one. Incompatible with Supervise and Drift.
+	FDAF *FDAFParams
+
+	// Supervise runs the canceller under the degradation ladder.
+	Supervise bool
+	// SupervisorConfig overrides the ladder tuning (nil = defaults). Its
+	// Trace field is managed by Build.
+	SupervisorConfig *supervisor.Config
+	// FallbackSecondary is the secondary-path estimate the ladder's local
+	// fallback canceller is built around (required when Supervise).
+	FallbackSecondary []float64
+
+	// Reference is the pulled reference input (required).
+	Reference SampleSource
+	// Ambient is the acoustic leg (required).
+	Ambient Ambient
+	// Drift is the optional clock-drift control stage.
+	Drift DriftControl
+
+	// SecondaryIR is the true speaker→error-mic impulse response the
+	// anti-noise physically traverses (required).
+	SecondaryIR []float64
+	// NoiseRMS adds error-microphone self-noise of this RMS, drawn from
+	// Noise.
+	NoiseRMS float64
+	// Noise is the self-noise generator (required when NoiseRMS != 0).
+	Noise *audio.RNG
+
+	// On, when non-nil, receives the measured (pre-sensor-noise) signal
+	// at each sample index; Residual likewise receives the
+	// error-microphone signal. Both must cover the samples processed.
+	On       []float64
+	Residual []float64
+
+	// Trace, when non-nil, receives budget entries at Build and
+	// canceller/supervisor state on the TraceBlock cadence.
+	Trace *telemetry.Trace
+	// TraceBlock is the trace cadence in samples (0 = 512).
+	TraceBlock int
+	// LiveHooks additionally emits per-block stream/drift/residual trace
+	// events and registry gauges after every processed block — the live
+	// CLI's observability. Simulation runs leave it off; their levels are
+	// derived post-run from the recorded streams.
+	LiveHooks bool
+	// Telemetry, when non-nil, receives pipeline counters and gauges.
+	Telemetry *telemetry.Registry
+}
+
+// StreamStats is implemented by reference sources backed by a jitter
+// buffer (the live receiver); the per-block live hooks read it for the
+// stream-stage trace events and gauges.
+type StreamStats interface {
+	Stats() stream.JitterStats
+	Buffered() int
+	Recovered() uint64
+}
+
+// DriftStats is implemented by drift-correcting sources; the per-block
+// live hooks read it for the drift-stage trace events and gauges.
+type DriftStats interface {
+	DriftState() (estPPM, rawPPM, ratePPM float64, locked bool)
+}
+
+// Pipeline is a built cancellation graph. Exported fields are the wired
+// stages, fixed at Build; drive the graph with ProcessBlock or Run.
+type Pipeline struct {
+	// LANC is the sample-domain canceller (nil on the FDAF path).
+	LANC *core.LANC
+	// Sup is the degradation-ladder supervisor (nil unless Supervise).
+	Sup *supervisor.Supervisor
+	// FDAF is the block canceller (nil on the sample path).
+	FDAF *core.BlockLANC
+	// Budget is the lookahead budget the canceller was planned with.
+	Budget core.Budget
+	// Spend itemizes where the lookahead went (recorded into the trace
+	// at Build).
+	Spend *telemetry.BudgetReport
+	// NonCausalTaps is the N the canceller actually runs with.
+	NonCausalTaps int
+
+	ref   SampleSource
+	amb   Ambient
+	drift DriftControl
+	sec   *dsp.StreamConvolver
+
+	noiseRMS float64
+	noise    *audio.RNG
+
+	on       []float64
+	residual []float64
+
+	trace      *telemetry.Trace
+	traceEvery int64
+	liveHooks  bool
+
+	reg       *telemetry.Registry
+	ctrSample *telemetry.Counter
+	gTapE     *telemetry.Gauge
+	gBuffered *telemetry.Gauge
+	gEstPPM   *telemetry.Gauge
+	gRatePPM  *telemetry.Gauge
+	blockNS   *telemetry.Histogram
+
+	streamStats StreamStats
+	driftStats  DriftStats
+
+	fdafSize int
+	x, a, eb []float64
+	m        []bool
+
+	t        int64
+	e        float64
+	noisePow float64
+	resPow   float64
+}
+
+// Build plans the lookahead budget and assembles the pipeline. This is
+// the one place the cancellation stages are wired: the simulator and the
+// live CLIs differ only in the sources, controls, and hooks they bind.
+func Build(cfg Config) (*Pipeline, error) {
+	if cfg.SampleRate <= 0 {
+		return nil, fmt.Errorf("graph: sample rate %g must be positive", cfg.SampleRate)
+	}
+	if cfg.Reference == nil {
+		return nil, fmt.Errorf("graph: a Reference source is required")
+	}
+	if cfg.Ambient == nil {
+		return nil, fmt.Errorf("graph: an Ambient leg is required")
+	}
+	if len(cfg.SecondaryIR) == 0 {
+		return nil, fmt.Errorf("graph: a SecondaryIR is required")
+	}
+	if cfg.NoiseRMS != 0 && cfg.Noise == nil {
+		return nil, fmt.Errorf("graph: NoiseRMS set without a Noise generator")
+	}
+	if cfg.FDAF != nil && (cfg.Supervise || cfg.Drift != nil) {
+		return nil, fmt.Errorf("graph: the FDAF path is incompatible with the supervisor and drift control")
+	}
+	blockLat := 0
+	if cfg.FDAF != nil {
+		blockLat = cfg.FDAF.BlockSize - 1
+	}
+	la := cfg.Lookahead - cfg.ExtraReferenceDelay - cfg.PrimeSamples - cfg.DriftGuard - blockLat
+	if la < 0 {
+		la = 0
+	}
+	budget, err := core.NewBudget(la, cfg.Pipeline)
+	if err != nil {
+		return nil, err
+	}
+	nTaps := budget.UsableTaps
+	if cfg.MaxNonCausalTaps > 0 && nTaps > cfg.MaxNonCausalTaps {
+		nTaps = cfg.MaxNonCausalTaps
+	}
+	traceEvery := int64(cfg.TraceBlock)
+	if traceEvery <= 0 {
+		traceEvery = 512
+	}
+	pl := &Pipeline{
+		Budget:        budget,
+		NonCausalTaps: nTaps,
+		ref:           cfg.Reference,
+		amb:           cfg.Ambient,
+		drift:         cfg.Drift,
+		sec:           dsp.NewStreamConvolver(cfg.SecondaryIR),
+		noiseRMS:      cfg.NoiseRMS,
+		noise:         cfg.Noise,
+		on:            cfg.On,
+		residual:      cfg.Residual,
+		trace:         cfg.Trace,
+		traceEvery:    traceEvery,
+		liveHooks:     cfg.LiveHooks,
+		reg:           cfg.Telemetry,
+	}
+	pl.Spend = Plan(cfg.SampleRate, cfg.Lookahead, cfg.PrimeSamples, cfg.ExtraReferenceDelay,
+		cfg.DriftGuard, blockLat, cfg.Pipeline, nTaps)
+	pl.Spend.Record(cfg.Trace)
+
+	if cfg.FDAF != nil {
+		bl, err := core.NewBlock(core.BlockConfig{
+			FilterTaps:    cfg.Canceller.CausalTaps + nTaps,
+			BlockSize:     cfg.FDAF.BlockSize,
+			Mu:            cfg.FDAF.Mu,
+			SecondaryPath: cfg.Canceller.SecondaryPath,
+			NonCausalTaps: nTaps,
+		})
+		if err != nil {
+			return nil, err
+		}
+		pl.FDAF = bl
+		pl.fdafSize = cfg.FDAF.BlockSize
+		pl.x = make([]float64, pl.fdafSize)
+		pl.a = make([]float64, pl.fdafSize)
+		pl.eb = make([]float64, pl.fdafSize)
+		pl.m = make([]bool, pl.fdafSize)
+		if cfg.Telemetry != nil {
+			pl.blockNS = cfg.Telemetry.Histogram("lanc.block_ns",
+				telemetry.HistogramOpts{Lo: 1e3, Ratio: 2, Buckets: 20})
+		}
+	} else {
+		c := cfg.Canceller
+		lanc, err := core.New(core.Config{
+			NonCausalTaps:    nTaps,
+			CausalTaps:       c.CausalTaps,
+			Mu:               c.Mu,
+			Normalized:       !c.PlainLMS,
+			Leak:             0.0005,
+			SecondaryPath:    c.SecondaryPath,
+			Profiling:        c.Profiling,
+			ProfileWindow:    c.ProfileWindow,
+			ProfileHop:       c.ProfileHop,
+			ProfileThreshold: c.ProfileThreshold,
+			MaxProfiles:      c.MaxProfiles,
+			SampleRate:       cfg.SampleRate,
+			LossAware:        c.LossAware,
+			RecoveryRamp:     c.RecoveryRamp,
+		})
+		if err != nil {
+			return nil, err
+		}
+		pl.LANC = lanc
+		if cfg.Supervise {
+			// The fallback is the Bose-class local canceller: its reference
+			// microphone hears the open-ear field, and its physical latency
+			// is already inside SecondaryIR via the shared chain.
+			hcfg := headphone.DefaultConfig(cfg.SampleRate, cfg.FallbackSecondary)
+			hcfg.PipelineDelaySamples = 0
+			fb, err := headphone.NewANC(hcfg)
+			if err != nil {
+				return nil, err
+			}
+			scfg := supervisor.DefaultConfig()
+			if cfg.SupervisorConfig != nil {
+				scfg = *cfg.SupervisorConfig
+			}
+			scfg.Trace = cfg.Trace
+			sup, err := supervisor.New(scfg, lanc, fb)
+			if err != nil {
+				return nil, err
+			}
+			pl.Sup = sup
+		}
+	}
+
+	if cfg.LiveHooks {
+		if ss, ok := cfg.Reference.(StreamStats); ok {
+			pl.streamStats = ss
+		}
+		if ds, ok := cfg.Reference.(DriftStats); ok {
+			pl.driftStats = ds
+		}
+		if cfg.Telemetry != nil {
+			pl.ctrSample = cfg.Telemetry.Counter("pipeline.samples")
+			pl.gTapE = cfg.Telemetry.Gauge("lanc.tap_energy")
+			if pl.streamStats != nil {
+				pl.gBuffered = cfg.Telemetry.Gauge("stream.buffered_frames")
+			}
+			if pl.driftStats != nil {
+				pl.gEstPPM = cfg.Telemetry.Gauge("drift.est_ppm")
+				pl.gRatePPM = cfg.Telemetry.Gauge("drift.rate_ppm")
+			}
+		}
+	}
+	return pl, nil
+}
+
+// ProcessBlock pulls and cancels up to n reference samples, returning how
+// many the source produced (0 at end of stream). On the FDAF path the
+// block size is fixed at Build and n is ignored.
+func (pl *Pipeline) ProcessBlock(n int) (int, error) {
+	if pl.FDAF != nil {
+		return pl.processFDAFBlock()
+	}
+	if n <= 0 {
+		return 0, fmt.Errorf("graph: block size %d must be positive", n)
+	}
+	if len(pl.x) < n {
+		pl.x = make([]float64, n)
+		pl.m = make([]bool, n)
+	}
+	x, m := pl.x[:n], pl.m[:n]
+	got := pl.ref.Pull(x, m, pl.t)
+	if got <= 0 {
+		return 0, nil
+	}
+	ctl := Controls{pl}
+	var blockRes float64
+	for i := 0; i < got; i++ {
+		if pl.drift != nil {
+			pl.drift.Tick(pl.t, ctl)
+		}
+		if pl.trace != nil && pl.t%pl.traceEvery == 0 {
+			pl.traceCancelState()
+		}
+		local, cup := pl.amb.Next(x[i])
+		var a float64
+		if pl.Sup != nil {
+			a = pl.Sup.Step(x[i], local, pl.e, m[i])
+		} else {
+			a = pl.LANC.StepMasked(x[i], pl.e, m[i])
+		}
+		meas := cup + pl.sec.Process(a)
+		if pl.on != nil {
+			pl.on[pl.t] = meas
+		}
+		e := meas
+		if pl.noiseRMS != 0 {
+			e += pl.noiseRMS * pl.noise.Norm()
+		}
+		if pl.residual != nil {
+			pl.residual[pl.t] = e
+		}
+		pl.e = e
+		pl.noisePow += cup * cup
+		pl.resPow += e * e
+		blockRes += e * e
+		pl.t++
+	}
+	pl.afterBlock(got, blockRes)
+	return got, nil
+}
+
+// processFDAFBlock runs one fixed-size block through the frequency-domain
+// canceller: anti-noise for the whole block first, then the acoustic mix
+// sample by sample, with the measured errors feeding the next block's
+// adaptation. A short source block is zero-padded exactly as the
+// canceller expects.
+func (pl *Pipeline) processFDAFBlock() (int, error) {
+	b := pl.fdafSize
+	got := pl.ref.Pull(pl.x, pl.m, pl.t)
+	if got <= 0 {
+		return 0, nil
+	}
+	for i := got; i < b; i++ {
+		pl.x[i] = 0
+	}
+	blockStart := time.Now()
+	if err := pl.FDAF.ProcessBlockInto(pl.a, pl.x, pl.eb); err != nil {
+		return 0, err
+	}
+	if pl.blockNS != nil {
+		pl.blockNS.Observe(float64(time.Since(blockStart).Nanoseconds()))
+	}
+	var blockRes float64
+	for i := 0; i < got; i++ {
+		_, cup := pl.amb.Next(pl.x[i])
+		meas := cup + pl.sec.Process(pl.a[i])
+		if pl.on != nil {
+			pl.on[pl.t] = meas
+		}
+		e := meas
+		if pl.noiseRMS != 0 {
+			e += pl.noiseRMS * pl.noise.Norm()
+		}
+		if pl.residual != nil {
+			pl.residual[pl.t] = e
+		}
+		pl.eb[i] = e
+		pl.noisePow += cup * cup
+		pl.resPow += e * e
+		blockRes += e * e
+		pl.t++
+	}
+	for i := got; i < b; i++ {
+		pl.eb[i] = 0
+	}
+	pl.afterBlock(got, blockRes)
+	return got, nil
+}
+
+// Run drives the pipeline for total samples in blocks of block samples
+// (0 = the trace cadence, or the FDAF block size). It stops early if the
+// source dries up.
+func (pl *Pipeline) Run(total, block int) error {
+	if pl.FDAF != nil {
+		block = pl.fdafSize
+	} else if block <= 0 {
+		block = int(pl.traceEvery)
+	}
+	for done := 0; done < total; {
+		n := block
+		if total-done < n {
+			n = total - done
+		}
+		got, err := pl.ProcessBlock(n)
+		if err != nil {
+			return err
+		}
+		if got == 0 {
+			return nil
+		}
+		done += got
+	}
+	return nil
+}
+
+// Samples returns how many samples the pipeline has processed.
+func (pl *Pipeline) Samples() int64 { return pl.t }
+
+// Meters returns the accumulated ambient (under-cup) and residual powers
+// — the live CLI's end-of-run cancellation figure.
+func (pl *Pipeline) Meters() (noisePow, resPow float64) {
+	return pl.noisePow, pl.resPow
+}
+
+// traceCancelState records the canceller's observable state at a trace
+// cadence boundary: effective step size, tap energy, the loss-aware
+// posture, and (when supervised) the ladder state. All reads — the run's
+// samples are unchanged.
+func (pl *Pipeline) traceCancelState() {
+	gain, frozen, rampLeft := pl.LANC.LossState()
+	fz := 0.0
+	if frozen {
+		fz = 1
+	}
+	pl.trace.Record(pl.t, telemetry.StageLANC, "step", map[string]float64{
+		"mu_eff":     pl.LANC.EffectiveStep(),
+		"tap_energy": pl.LANC.TapEnergy(),
+		"gain":       gain,
+		"frozen":     fz,
+		"ramp_left":  float64(rampLeft),
+	})
+	if pl.Sup != nil {
+		pl.Sup.TraceState(pl.trace, pl.t)
+	}
+}
+
+// afterBlock emits the live per-block observability: stream/drift/
+// residual trace events on the sample clock and registry gauges. It is
+// a no-op unless LiveHooks was set.
+func (pl *Pipeline) afterBlock(got int, blockRes float64) {
+	if !pl.liveHooks {
+		return
+	}
+	if pl.trace != nil {
+		if ss := pl.streamStats; ss != nil {
+			st := ss.Stats()
+			pl.trace.Record(pl.t, telemetry.StageStream, "jitter", map[string]float64{
+				"frames_received":   float64(st.FramesReceived),
+				"frames_late":       float64(st.FramesLate),
+				"frames_dropped":    float64(st.FramesDropped),
+				"samples_concealed": float64(st.SamplesConcealed),
+				"fec_recovered":     float64(ss.Recovered()),
+			})
+			pl.trace.Record(pl.t, telemetry.StageLookahead, "occupancy", map[string]float64{
+				"frames": float64(ss.Buffered()),
+			})
+		}
+		if ds := pl.driftStats; ds != nil {
+			est, raw, rate, locked := ds.DriftState()
+			lv := 0.0
+			if locked {
+				lv = 1
+			}
+			pl.trace.Record(pl.t, telemetry.StageDrift, "estimator", map[string]float64{
+				"est_ppm":  est,
+				"raw_ppm":  raw,
+				"rate_ppm": rate,
+				"locked":   lv,
+			})
+		}
+		pl.trace.Record(pl.t, telemetry.StageResidual, "block", map[string]float64{
+			"power": blockRes / float64(got),
+		})
+	}
+	if pl.reg == nil {
+		return
+	}
+	if pl.ctrSample != nil {
+		pl.ctrSample.Add(int64(got))
+	}
+	if pl.gTapE != nil && pl.LANC != nil {
+		pl.gTapE.Set(pl.LANC.TapEnergy())
+	}
+	if pl.gBuffered != nil {
+		pl.gBuffered.Set(float64(pl.streamStats.Buffered()))
+	}
+	if pl.driftStats != nil && pl.gEstPPM != nil {
+		est, _, rate, _ := pl.driftStats.DriftState()
+		pl.gEstPPM.Set(est)
+		pl.gRatePPM.Set(rate)
+	}
+}

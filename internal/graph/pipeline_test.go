@@ -1,0 +1,167 @@
+package graph
+
+import (
+	"testing"
+
+	"mute/internal/core"
+	"mute/internal/telemetry"
+)
+
+// validConfig returns a minimal buildable sample-domain configuration over
+// an in-memory source; tests mutate one field at a time.
+func validConfig(n int) Config {
+	samples := make([]float64, n)
+	for i := range samples {
+		samples[i] = float64(i%7) * 0.1
+	}
+	return Config{
+		SampleRate: 8000,
+		Lookahead:  64,
+		Pipeline:   core.PipelineDelays{ADC: 1, DSP: 1, DAC: 1, Speaker: 1},
+		Canceller: CancellerParams{
+			CausalTaps:    16,
+			Mu:            0.1,
+			SecondaryPath: []float64{0.85, 0.22, 0.06},
+		},
+		Reference:   &SliceSource{Samples: samples},
+		Ambient:     &SliceAmbient{Local: samples, Cup: samples},
+		SecondaryIR: []float64{0.85, 0.22, 0.06},
+	}
+}
+
+// TestBuildValidation checks every required binding and the illegal
+// combinations fail at Build, not mid-run.
+func TestBuildValidation(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"zero sample rate", func(c *Config) { c.SampleRate = 0 }},
+		{"nil reference", func(c *Config) { c.Reference = nil }},
+		{"nil ambient", func(c *Config) { c.Ambient = nil }},
+		{"empty secondary IR", func(c *Config) { c.SecondaryIR = nil }},
+		{"noise without generator", func(c *Config) { c.NoiseRMS = 0.01 }},
+		{"fdaf with supervisor", func(c *Config) {
+			c.FDAF = &FDAFParams{BlockSize: 64, Mu: 0.05}
+			c.Supervise = true
+			c.FallbackSecondary = c.SecondaryIR
+		}},
+		{"fdaf with drift control", func(c *Config) {
+			c.FDAF = &FDAFParams{BlockSize: 64, Mu: 0.05}
+			c.Drift = &DriftReplay{}
+		}},
+	}
+	for _, tc := range cases {
+		cfg := validConfig(256)
+		tc.mutate(&cfg)
+		if _, err := Build(cfg); err == nil {
+			t.Errorf("%s: Build accepted an invalid config", tc.name)
+		}
+	}
+}
+
+// TestBuildPlansTaps pins the budget-to-canceller wiring: the planned N
+// is the budget's usable-tap count, capped by MaxNonCausalTaps, and the
+// spend report stays an identity over the full lookahead.
+func TestBuildPlansTaps(t *testing.T) {
+	cfg := validConfig(256)
+	pl, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.NonCausalTaps != 60 { // 64 lookahead − 4 pipeline delays
+		t.Errorf("planned %d non-causal taps, want 60", pl.NonCausalTaps)
+	}
+	if !pl.Spend.Balanced() || pl.Spend.SpentSamples() != cfg.Lookahead {
+		t.Errorf("spend report unbalanced: %d of %d", pl.Spend.SpentSamples(), cfg.Lookahead)
+	}
+
+	cfg = validConfig(256)
+	cfg.MaxNonCausalTaps = 8
+	pl, err = Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.NonCausalTaps != 8 {
+		t.Errorf("capped plan produced %d taps, want 8", pl.NonCausalTaps)
+	}
+	if pl.Spend.SpentSamples() != cfg.Lookahead {
+		t.Errorf("capped spend sums to %d, want %d", pl.Spend.SpentSamples(), cfg.Lookahead)
+	}
+}
+
+// TestBuildRecordsBudgetTrace checks Build records the spend into the
+// caller's trace exactly once, before any samples flow.
+func TestBuildRecordsBudgetTrace(t *testing.T) {
+	cfg := validConfig(256)
+	tr := telemetry.NewTrace()
+	cfg.Trace = tr
+	if _, err := Build(cfg); err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	n := 0
+	for _, ev := range tr.Events() {
+		if ev.Stage == telemetry.StageBudget {
+			n++
+			sum += ev.Values["samples"]
+		}
+	}
+	if n == 0 {
+		t.Fatal("Build recorded no budget events")
+	}
+	if int(sum) != cfg.Lookahead {
+		t.Errorf("budget events sum to %g, want %d", sum, cfg.Lookahead)
+	}
+}
+
+// TestProcessBlockDrainsSource checks the pull loop's termination
+// contract: short final blocks report their true size, an exhausted
+// source reports zero, and Run stops there.
+func TestProcessBlockDrainsSource(t *testing.T) {
+	const total = 100
+	cfg := validConfig(total)
+	pl, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := pl.ProcessBlock(64); err != nil || got != 64 {
+		t.Fatalf("first block: got %d, %v; want 64", got, err)
+	}
+	if got, err := pl.ProcessBlock(64); err != nil || got != total-64 {
+		t.Fatalf("final block: got %d, %v; want %d", got, err, total-64)
+	}
+	if got, err := pl.ProcessBlock(64); err != nil || got != 0 {
+		t.Fatalf("drained source: got %d, %v; want 0", got, err)
+	}
+	if pl.Samples() != total {
+		t.Errorf("pipeline processed %d samples, want %d", pl.Samples(), total)
+	}
+	if _, err := pl.ProcessBlock(0); err == nil {
+		t.Error("ProcessBlock accepted a non-positive block size")
+	}
+}
+
+// TestLiveHooksRegistry checks the live instantiation registers the
+// canonical gauge/counter names (OBSERVABILITY.md) and feeds them per
+// block.
+func TestLiveHooksRegistry(t *testing.T) {
+	cfg := validConfig(160)
+	reg := telemetry.NewRegistry()
+	cfg.Telemetry = reg
+	cfg.LiveHooks = true
+	pl, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pl.Run(160, 80); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters["pipeline.samples"]; got != 160 {
+		t.Errorf("pipeline.samples = %d, want 160", got)
+	}
+	if _, ok := snap.Gauges["lanc.tap_energy"]; !ok {
+		t.Error("lanc.tap_energy gauge missing from the live registry")
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"mute/internal/audio"
 	"mute/internal/core"
 	"mute/internal/dsp"
+	"mute/internal/graph"
 	"mute/internal/headphone"
 	"mute/internal/rf"
 	"mute/internal/stream"
@@ -419,9 +420,13 @@ func Run(p Params, scheme Scheme) (*Result, error) {
 	}
 
 	// --- Active cancellation loop -------------------------------------------
+	// The cancellation pipeline itself — supervisor/LANC (or BlockFDAF),
+	// secondary chain, residual metering — is wired once in internal/graph
+	// and shared with the live CLIs; the simulator only binds its offline
+	// sources (pre-rendered acoustics, the replayed packetized transport)
+	// and replayed drift decisions to that one construction site.
 	stageStart = time.Now()
 	earNoise := audio.NewRNG(p.Seed + 23)
-	secCh := dsp.NewStreamConvolver(secIR)
 	on := make([]float64, n)
 	residual := make([]float64, n)
 	switch {
@@ -438,70 +443,40 @@ func Run(p Params, scheme Scheme) (*Result, error) {
 		if bsize == 0 {
 			bsize = 32
 		}
-		la := res.LookaheadSamples - p.ExtraReferenceDelay - (bsize - 1)
-		if la < 0 {
-			la = 0
-		}
-		budget, err := core.NewBudget(la, p.Pipeline)
-		if err != nil {
-			return nil, err
-		}
-		nTaps := budget.UsableTaps
-		if p.MaxNonCausalTaps > 0 && nTaps > p.MaxNonCausalTaps {
-			nTaps = p.MaxNonCausalTaps
-		}
-		res.Budget = budget
-		res.UsedNonCausalTaps = nTaps
-		res.BudgetSpend = budgetSpend(fs, res.LookaheadSamples, 0, p.ExtraReferenceDelay, 0, bsize-1, p.Pipeline, nTaps)
-		res.BudgetSpend.Record(p.Trace)
 		blockMu := p.BlockMu
 		if blockMu == 0 {
 			blockMu = 0.4
 		}
-		bl, err := core.NewBlock(core.BlockConfig{
-			FilterTaps:    p.CausalTaps + nTaps,
-			BlockSize:     bsize,
-			Mu:            blockMu,
-			SecondaryPath: secEst,
-			NonCausalTaps: nTaps,
+		pl, err := graph.Build(graph.Config{
+			SampleRate:          fs,
+			Lookahead:           res.LookaheadSamples,
+			ExtraReferenceDelay: p.ExtraReferenceDelay,
+			Pipeline:            p.Pipeline,
+			MaxNonCausalTaps:    p.MaxNonCausalTaps,
+			Canceller: graph.CancellerParams{
+				CausalTaps:    p.CausalTaps,
+				SecondaryPath: secEst,
+			},
+			FDAF:        &graph.FDAFParams{BlockSize: bsize, Mu: blockMu},
+			Reference:   &graph.SliceSource{Samples: forwarded},
+			Ambient:     &graph.SliceAmbient{Local: open, Cup: underCup},
+			SecondaryIR: secIR,
+			NoiseRMS:    p.EarMicNoiseRMS,
+			Noise:       earNoise,
+			On:          on,
+			Residual:    residual,
+			Trace:       p.Trace,
+			TraceBlock:  traceBlock,
+			Telemetry:   p.Telemetry,
 		})
 		if err != nil {
 			return nil, err
 		}
-		var blockNS *telemetry.Histogram
-		if p.Telemetry != nil {
-			blockNS = p.Telemetry.Histogram("lanc.block_ns", telemetry.HistogramOpts{Lo: 1e3, Ratio: 2, Buckets: 20})
-		}
-		xBlk := make([]float64, bsize)
-		aBlk := make([]float64, bsize)
-		eBlk := make([]float64, bsize)
-		for t0 := 0; t0 < n; t0 += bsize {
-			m := min(bsize, n-t0)
-			copy(xBlk, forwarded[t0:t0+m])
-			for i := m; i < bsize; i++ {
-				xBlk[i] = 0
-			}
-			blockStart := time.Now()
-			if err := bl.ProcessBlockInto(aBlk, xBlk, eBlk); err != nil {
-				return nil, err
-			}
-			if blockNS != nil {
-				blockNS.Observe(float64(time.Since(blockStart).Nanoseconds()))
-			}
-			for i := 0; i < m; i++ {
-				t := t0 + i
-				meas := underCup[t] + secCh.Process(aBlk[i])
-				on[t] = meas
-				e := meas
-				if p.EarMicNoiseRMS != 0 {
-					e += p.EarMicNoiseRMS * earNoise.Norm()
-				}
-				residual[t] = e
-				eBlk[i] = e
-			}
-			for i := m; i < bsize; i++ {
-				eBlk[i] = 0
-			}
+		res.Budget = pl.Budget
+		res.UsedNonCausalTaps = pl.NonCausalTaps
+		res.BudgetSpend = pl.Spend
+		if err := pl.Run(n, bsize); err != nil {
+			return nil, err
 		}
 	case scheme.usesLANC():
 		// The packetized transport replaces the ideal reference wire with
@@ -570,118 +545,82 @@ func Run(p Params, scheme Scheme) (*Result, error) {
 				driftGuard = 2
 			}
 		}
-		la := res.LookaheadSamples - p.ExtraReferenceDelay - prime - driftGuard
-		if la < 0 {
-			la = 0
-		}
-		budget, err := core.NewBudget(la, p.Pipeline)
-		if err != nil {
-			return nil, err
-		}
-		nTaps := budget.UsableTaps
-		if p.MaxNonCausalTaps > 0 && nTaps > p.MaxNonCausalTaps {
-			nTaps = p.MaxNonCausalTaps
-		}
-		res.Budget = budget
-		res.UsedNonCausalTaps = nTaps
-		res.BudgetSpend = budgetSpend(fs, res.LookaheadSamples, prime, p.ExtraReferenceDelay, driftGuard, 0, p.Pipeline, nTaps)
-		res.BudgetSpend.Record(p.Trace)
-		cfg := core.Config{
-			NonCausalTaps:    nTaps,
-			CausalTaps:       p.CausalTaps,
-			Mu:               p.Mu,
-			Normalized:       !p.PlainLMS,
-			Leak:             0.0005,
-			SecondaryPath:    secEst,
-			Profiling:        p.Profiling,
-			ProfileWindow:    p.ProfileWindow,
-			ProfileHop:       p.ProfileHop,
-			ProfileThreshold: p.ProfileThreshold,
-			MaxProfiles:      p.MaxProfiles,
-			SampleRate:       fs,
-		}
-		if lt != nil {
-			cfg.LossAware = lt.LossAware
-			cfg.RecoveryRamp = lt.RecoveryRamp
-		}
-		lanc, err := core.New(cfg)
-		if err != nil {
-			return nil, err
-		}
-		var sup *supervisor.Supervisor
-		if p.Supervise {
-			// The fallback is the Bose-class local canceller: its reference
-			// microphone hears the open-ear field, its physical latency is
-			// already inside secIR via the shared chain.
-			hcfg := headphone.DefaultConfig(fs, secEst)
-			hcfg.PipelineDelaySamples = 0
-			fb, err := headphone.NewANC(hcfg)
-			if err != nil {
-				return nil, err
-			}
-			scfg := supervisor.DefaultConfig()
-			if p.SupervisorConfig != nil {
-				scfg = *p.SupervisorConfig
-			}
-			scfg.Trace = p.Trace
-			sup, err = supervisor.New(scfg, lanc, fb)
-			if err != nil {
-				return nil, err
-			}
-		}
 		// Drift-stage hooks replayed onto the loop clock: adaptation holds
 		// at suspected oscillator steps (the alignment is about to slew),
 		// and per-window estimator state feeding the supervisor's health
 		// view. Both land at window time plus the playout shift.
-		var holdAt map[int]bool
-		if drift != nil && len(drift.RateJumps) > 0 {
-			holdAt = make(map[int]bool, len(drift.RateJumps))
-			for _, j := range drift.RateJumps {
-				holdAt[int(j)+prime] = true
-			}
-		}
-		var wins []DriftWindow
-		if drift != nil && sup != nil {
-			wins = drift.Windows
-		}
-		wi := 0
-		e := 0.0
-		for t := 0; t < n; t++ {
-			for wi < len(wins) && int(wins[wi].AtSample)+prime <= t {
-				if int(wins[wi].AtSample)+prime == t {
-					sup.ObserveDrift(wins[wi].PPM, wins[wi].Locked)
-				}
-				wi++
-			}
-			if holdAt[t] {
-				lanc.HoldAdaptation(2*frameN, 0)
-			}
-			if p.Trace != nil && t%traceBlock == 0 {
-				traceLANC(p.Trace, int64(t), lanc)
-				if sup != nil {
-					sup.TraceState(p.Trace, int64(t))
+		var driftCtl graph.DriftControl
+		if drift != nil && (len(drift.RateJumps) > 0 || p.Supervise) {
+			replay := &graph.DriftReplay{HoldSamples: 2 * frameN}
+			if len(drift.RateJumps) > 0 {
+				replay.Holds = make(map[int64]bool, len(drift.RateJumps))
+				for _, j := range drift.RateJumps {
+					replay.Holds[j+int64(prime)] = true
 				}
 			}
-			var a float64
-			switch {
-			case sup != nil:
-				a = sup.Step(forwarded[t], open[t], e, mask == nil || mask[t])
-			case mask != nil:
-				a = lanc.StepMasked(forwarded[t], e, mask[t])
-			default:
-				a = lanc.Step(forwarded[t], e)
+			if p.Supervise {
+				replay.Windows = make([]graph.DriftObservation, len(drift.Windows))
+				for i, w := range drift.Windows {
+					replay.Windows[i] = graph.DriftObservation{
+						At:     w.AtSample + int64(prime),
+						PPM:    w.PPM,
+						Locked: w.Locked,
+					}
+				}
 			}
-			meas := underCup[t] + secCh.Process(a)
-			on[t] = meas
-			e = meas
-			if p.EarMicNoiseRMS != 0 {
-				e += p.EarMicNoiseRMS * earNoise.Norm()
-			}
-			residual[t] = e
+			driftCtl = replay
 		}
-		res.Switches = lanc.Switches()
-		if sup != nil {
-			rep := sup.Report()
+		gcfg := graph.Config{
+			SampleRate:          fs,
+			Lookahead:           res.LookaheadSamples,
+			PrimeSamples:        prime,
+			ExtraReferenceDelay: p.ExtraReferenceDelay,
+			DriftGuard:          driftGuard,
+			Pipeline:            p.Pipeline,
+			MaxNonCausalTaps:    p.MaxNonCausalTaps,
+			Canceller: graph.CancellerParams{
+				CausalTaps:       p.CausalTaps,
+				Mu:               p.Mu,
+				PlainLMS:         p.PlainLMS,
+				SecondaryPath:    secEst,
+				Profiling:        p.Profiling,
+				ProfileWindow:    p.ProfileWindow,
+				ProfileHop:       p.ProfileHop,
+				ProfileThreshold: p.ProfileThreshold,
+				MaxProfiles:      p.MaxProfiles,
+			},
+			Supervise:         p.Supervise,
+			SupervisorConfig:  p.SupervisorConfig,
+			FallbackSecondary: secEst,
+			Reference:         &graph.SliceSource{Samples: forwarded, Mask: mask},
+			Ambient:           &graph.SliceAmbient{Local: open, Cup: underCup},
+			Drift:             driftCtl,
+			SecondaryIR:       secIR,
+			NoiseRMS:          p.EarMicNoiseRMS,
+			Noise:             earNoise,
+			On:                on,
+			Residual:          residual,
+			Trace:             p.Trace,
+			TraceBlock:        traceBlock,
+			Telemetry:         p.Telemetry,
+		}
+		if lt != nil {
+			gcfg.Canceller.LossAware = lt.LossAware
+			gcfg.Canceller.RecoveryRamp = lt.RecoveryRamp
+		}
+		pl, err := graph.Build(gcfg)
+		if err != nil {
+			return nil, err
+		}
+		res.Budget = pl.Budget
+		res.UsedNonCausalTaps = pl.NonCausalTaps
+		res.BudgetSpend = pl.Spend
+		if err := pl.Run(n, traceBlock); err != nil {
+			return nil, err
+		}
+		res.Switches = pl.LANC.Switches()
+		if pl.Sup != nil {
+			rep := pl.Sup.Report()
 			res.Supervision = &rep
 		}
 	default: // Bose schemes
@@ -695,6 +634,7 @@ func Run(p Params, scheme Scheme) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		secCh := dsp.NewStreamConvolver(secIR)
 		e := 0.0
 		for t := 0; t < n; t++ {
 			a := hp.Step(open[t], e)
@@ -725,52 +665,6 @@ func Run(p Params, scheme Scheme) (*Result, error) {
 	}
 	res.Elapsed = time.Since(start)
 	return res, nil
-}
-
-// budgetSpend itemizes a LANC run's lookahead: playout buffering, the
-// deliberate delayed-line injection, the Equation 3 pipeline, the
-// non-causal taps, and the slack left over (negative "overdrawn" when the
-// deadline is missed), so the entries always sum to the lookahead.
-func budgetSpend(fs float64, lookahead, prime, extraDelay, driftGuard, blockLat int, pipe core.PipelineDelays, nTaps int) *telemetry.BudgetReport {
-	b := telemetry.NewBudgetReport(fs, lookahead)
-	b.Add("transport.prime", prime)
-	if driftGuard > 0 {
-		b.Add("drift.resampler", driftGuard)
-	}
-	if blockLat > 0 {
-		b.Add("fdaf.block_latency", blockLat)
-	}
-	b.Add("reference.extra_delay", extraDelay)
-	b.Add("pipeline.adc", pipe.ADC)
-	b.Add("pipeline.dsp", pipe.DSP)
-	b.Add("pipeline.dac", pipe.DAC)
-	b.Add("pipeline.speaker", pipe.Speaker)
-	b.Add("lanc.noncausal_taps", nTaps)
-	rest := lookahead - b.SpentSamples()
-	if rest >= 0 {
-		b.Add("unused", rest)
-	} else {
-		b.Add("overdrawn", rest)
-	}
-	return b
-}
-
-// traceLANC records the adaptive filter's observable state at a block
-// boundary: effective step size, tap energy, and the loss-aware posture.
-// All reads — the run's samples are unchanged.
-func traceLANC(tr *telemetry.Trace, t int64, lanc *core.LANC) {
-	gain, frozen, rampLeft := lanc.LossState()
-	fz := 0.0
-	if frozen {
-		fz = 1
-	}
-	tr.Record(t, telemetry.StageLANC, "step", map[string]float64{
-		"mu_eff":     lanc.EffectiveStep(),
-		"tap_energy": lanc.TapEnergy(),
-		"gain":       gain,
-		"frozen":     fz,
-		"ramp_left":  float64(rampLeft),
-	})
 }
 
 // traceBlockLevels records one stage's per-block signal level (dB relative

@@ -1,0 +1,39 @@
+package telemetry
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// DebugMux returns a dedicated ServeMux carrying the standard debug
+// surface — expvar under /debug/vars and the pprof family under
+// /debug/pprof/ — without touching http.DefaultServeMux. Handlers other
+// packages register on the default mux therefore cannot leak onto a
+// debug port, and the debug surface stays available even when the
+// default mux is repurposed.
+func DebugMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// ServeDebug binds addr synchronously — so a bad address or an occupied
+// port fails here, before the caller commits to its processing loop —
+// and then serves DebugMux in the background. It returns the bound
+// address (useful with port 0).
+func ServeDebug(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("telemetry: debug endpoint: %w", err)
+	}
+	go http.Serve(ln, DebugMux())
+	return ln.Addr().String(), nil
+}

@@ -1,0 +1,70 @@
+package telemetry
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// sentinelOnce guards the DefaultServeMux registration so -count=N reruns
+// in one process don't double-register.
+var sentinelOnce sync.Once
+
+// TestServeDebug checks the debug endpoint binds synchronously, serves
+// expvar and pprof, and does NOT serve handlers registered on the default
+// mux — the isolation that keeps a debug port from leaking application
+// routes (and vice versa).
+func TestServeDebug(t *testing.T) {
+	sentinelOnce.Do(func() {
+		http.HandleFunc("/telemetry-test-sentinel", func(w http.ResponseWriter, _ *http.Request) {
+			w.WriteHeader(http.StatusOK)
+		})
+	})
+	bound, err := ServeDebug("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(path string) (int, string) {
+		resp, err := http.Get("http://" + bound + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	code, body := get("/debug/vars")
+	if code != http.StatusOK {
+		t.Errorf("/debug/vars returned %d", code)
+	}
+	if !strings.HasPrefix(strings.TrimSpace(body), "{") {
+		t.Errorf("/debug/vars is not a JSON object: %.40q", body)
+	}
+	if code, _ := get("/debug/pprof/cmdline"); code != http.StatusOK {
+		t.Errorf("/debug/pprof/cmdline returned %d", code)
+	}
+	if code, _ := get("/telemetry-test-sentinel"); code != http.StatusNotFound {
+		t.Errorf("default-mux handler served on the debug port (status %d)", code)
+	}
+}
+
+// TestServeDebugBindFailure checks a bad address fails at the call site —
+// the live CLI relies on this to abort before its audio loop starts
+// rather than discovering a dead endpoint minutes in.
+func TestServeDebugBindFailure(t *testing.T) {
+	if _, err := ServeDebug("127.0.0.1:1023:bogus"); err == nil {
+		t.Fatal("ServeDebug accepted an unparseable address")
+	}
+	bound, err := ServeDebug("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ServeDebug(bound); err == nil {
+		t.Fatal("ServeDebug bound an occupied port without error")
+	} else if !strings.Contains(err.Error(), "debug endpoint") {
+		t.Errorf("error %q lacks the debug-endpoint context", err)
+	}
+}

@@ -22,11 +22,13 @@ package mute
 import (
 	"fmt"
 	"os"
+	"time"
 
 	"mute/internal/acoustics"
 	"mute/internal/audio"
 	"mute/internal/core"
 	"mute/internal/dsp"
+	"mute/internal/graph"
 	"mute/internal/headphone"
 	"mute/internal/metrics"
 	"mute/internal/relaysel"
@@ -501,6 +503,67 @@ type FailoverConfig = supervisor.FailoverConfig
 func NewFailover(cfg FailoverConfig, tracker *RelayTracker) (*Failover, error) {
 	return supervisor.NewFailover(cfg, tracker)
 }
+
+// --- Unified pipeline graph -----------------------------------------------------
+
+// The cancellation pipeline — reference source → drift control →
+// supervisor/LANC (or BlockFDAF) → secondary chain → residual metering —
+// is wired once, in the internal streaming-graph package, and shared by
+// the simulator and the live CLIs. Embedders bind sources and controls
+// to BuildPipeline instead of hand-wiring stages (see DESIGN.md's
+// "Streaming graph" section).
+type (
+	// Pipeline is a built cancellation graph: drive it with ProcessBlock
+	// or Run, read Meters/Samples and the planned Budget/Spend back.
+	Pipeline = graph.Pipeline
+	// PipelineConfig wires one pipeline; Reference, Ambient, SecondaryIR
+	// and the lookahead geometry are the required bindings.
+	PipelineConfig = graph.Config
+	// PipelineCancellerParams is the canceller-policy slice of the
+	// configuration.
+	PipelineCancellerParams = graph.CancellerParams
+	// PipelineFDAFParams selects the block frequency-domain canceller.
+	PipelineFDAFParams = graph.FDAFParams
+	// SampleSource is a pull-scheduled reference input (samples + mask).
+	SampleSource = graph.SampleSource
+	// AmbientLeg yields the coincident ambient sound per reference sample.
+	AmbientLeg = graph.Ambient
+	// DriftControl steers adaptation holds and supervisor drift reports.
+	DriftControl = graph.DriftControl
+	// ReceiverSource adapts a jitter-buffered Receiver to a SampleSource.
+	ReceiverSource = graph.ReceiverSource
+	// DriftSource slaves a SampleSource to the local clock through a
+	// DriftEstimator-steered VariRateResampler.
+	DriftSource = graph.DriftSource
+	// DerivedAmbient synthesizes the acoustic leg from the delayed
+	// reference (the live demo's binding).
+	DerivedAmbient = graph.DerivedAmbient
+	// LiveDrift reports an online estimator to the supervisor per block.
+	LiveDrift = graph.LiveDrift
+	// SliceSource serves a pre-rendered reference stream from memory.
+	SliceSource = graph.SliceSource
+	// SliceAmbient serves pre-rendered acoustics from memory.
+	SliceAmbient = graph.SliceAmbient
+)
+
+// BuildPipeline plans the lookahead budget and assembles the unified
+// cancellation pipeline.
+func BuildPipeline(cfg PipelineConfig) (*Pipeline, error) { return graph.Build(cfg) }
+
+// BlockDeadline returns the exact wall-clock boundary of processing
+// block n (1-based) for a frame-sample block loop started at start with
+// integer sample rate fs — computed in integer arithmetic so no
+// truncation skew accumulates between the block clock and the sample
+// clock.
+func BlockDeadline(start time.Time, n, frame, fs int64) time.Time {
+	return graph.BlockDeadline(start, n, frame, fs)
+}
+
+// ServeDebug binds addr synchronously and serves expvar (/debug/vars)
+// and pprof (/debug/pprof/) on a dedicated mux in the background,
+// returning the bound address. Pair with PublishTelemetry to expose a
+// registry.
+func ServeDebug(addr string) (string, error) { return telemetry.ServeDebug(addr) }
 
 // --- Observability ------------------------------------------------------------
 
