@@ -51,7 +51,7 @@ func main() {
 		telem      = flag.Bool("telemetry", false, "print the aggregated pipeline telemetry report after the run")
 		traceOut   = flag.String("trace-out", "", "write per-stage JSONL trace (forces -workers 1 for a well-ordered stream)")
 		debugAddr  = flag.String("debug-addr", "", "serve expvar (/debug/vars) and pprof on this address")
-		benchSuite = flag.String("bench", "", "run a benchmark suite (core or figs) instead of an experiment")
+		benchSuite = flag.String("bench", "", "run a benchmark suite (core, figs, or fleet) instead of an experiment")
 		benchJSON  = flag.String("bench-json", "", "write the benchmark report JSON to this file (default stdout)")
 		benchCmp   = flag.String("bench-compare", "", "compare the benchmark run against this baseline report; exit 1 on regression")
 		benchTol   = flag.Float64("bench-threshold", 0.2, "relative regression beyond which -bench-compare fails")
@@ -176,7 +176,8 @@ func fatal(err error) {
 // runBench executes a benchmark suite, emits its JSON report, and — when a
 // baseline is given — fails the process on calibrated regressions beyond
 // the threshold. This is the regeneration path for the checked-in
-// BENCH_core.json / BENCH_figs.json perf-trajectory files and the CI gate
+// BENCH_core.json / BENCH_figs.json / BENCH_fleet.json perf-trajectory
+// files and the CI gate
 // that holds them.
 func runBench(suite, jsonPath, comparePath string, threshold float64) {
 	rep, err := bench.Run(suite)

@@ -1,5 +1,5 @@
 // Package bench measures the pipeline's hot kernels and end-to-end figure
-// cost, and emits/compares machine-readable reports. Two suites exist:
+// cost, and emits/compares machine-readable reports. Three suites exist:
 //
 //   - core: microbenchmarks of the kernels the per-sample loop lives in
 //     (planned FFTs, streaming convolution, LANC steps, partitioned FDAF
@@ -7,9 +7,13 @@
 //   - figs: end-to-end numbers — Figure 12 wall time on one worker, and the
 //     realtime factor of a MUTE_Hollow run on the time-domain and
 //     partitioned frequency-domain paths.
+//   - fleet: session-server capacity — CPU cost per session-block and
+//     realtime sessions per core (gated), plus the paced 500-session
+//     deadline-miss rate over the real UDP transport (informational).
 //
 // Reports are plain JSON (schema mute-bench/v1) intended to be checked in
-// (BENCH_core.json, BENCH_figs.json) as the repo's perf trajectory. Compare
+// (BENCH_core.json, BENCH_figs.json, BENCH_fleet.json) as the repo's perf
+// trajectory. Compare
 // judges a fresh run against a checked-in baseline, normalizing for host
 // speed through the "calibrate" entry — a fixed scalar workload whose ratio
 // between the two reports estimates how much faster or slower the current
@@ -41,8 +45,11 @@ type Entry struct {
 	Name string `json:"name"`
 	// Value is the measurement in Unit.
 	Value float64 `json:"value"`
-	// Unit is "ns/op" or "ms" (lower is better), "x" for realtime factors
-	// (higher is better), or "dB" (informational, not gated).
+	// Unit is "ns/op" or "ms" (lower is better) or "x" for realtime
+	// factors (higher is better) — the three units Compare gates. Any
+	// other unit ("dB", "%", "ms*" for wall-clock quantities too noisy on
+	// shared runners) is informational: published and checked for
+	// presence, never gated on value.
 	Unit string `json:"unit"`
 	// Iters is how many operations the timing averaged over.
 	Iters int `json:"iters,omitempty"`
@@ -58,7 +65,7 @@ type Report struct {
 	Entries   []Entry `json:"entries"`
 }
 
-// Run executes the named suite ("core" or "figs").
+// Run executes the named suite ("core", "figs", or "fleet").
 func Run(suite string) (*Report, error) {
 	var (
 		entries []Entry
@@ -69,8 +76,10 @@ func Run(suite string) (*Report, error) {
 		entries, err = runCore()
 	case "figs":
 		entries, err = runFigs()
+	case "fleet":
+		entries, err = runFleet()
 	default:
-		return nil, fmt.Errorf("bench: unknown suite %q (want core or figs)", suite)
+		return nil, fmt.Errorf("bench: unknown suite %q (want core, figs, or fleet)", suite)
 	}
 	if err != nil {
 		return nil, err

@@ -42,6 +42,57 @@ func TestCoreSuiteRuns(t *testing.T) {
 	}
 }
 
+// TestFleetSuiteRuns executes the fleet capacity suite at toy scale — the
+// throughput and paced measurements must both complete and report the
+// expected entries, with only the CPU-time quantities in gated units.
+func TestFleetSuiteRuns(t *testing.T) {
+	oldTarget := measureTarget
+	oldS, oldB := fleetSessions, fleetBlocks
+	oldPS, oldPD, oldR := fleetPacedSessions, fleetPacedDuration, fleetRounds
+	measureTarget = 2 * time.Millisecond
+	fleetSessions, fleetBlocks = 4, 8
+	fleetPacedSessions, fleetPacedDuration, fleetRounds = 4, 100*time.Millisecond, 1
+	defer func() {
+		measureTarget = oldTarget
+		fleetSessions, fleetBlocks = oldS, oldB
+		fleetPacedSessions, fleetPacedDuration, fleetRounds = oldPS, oldPD, oldR
+	}()
+
+	rep, err := Run("fleet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Suite != "fleet" {
+		t.Fatalf("bad header: %+v", rep)
+	}
+	want := map[string]string{
+		"calibrate":               "ns/op",
+		"fleet.session_block":     "ns/op",
+		"fleet.sessions_per_core": "x",
+		"fleet.paced500.miss":     "%",
+		"fleet.paced500.p99_late": "ms*",
+	}
+	if len(rep.Entries) != len(want) {
+		t.Fatalf("got %d entries, want %d", len(rep.Entries), len(want))
+	}
+	for _, e := range rep.Entries {
+		unit, ok := want[e.Name]
+		if !ok {
+			t.Errorf("unexpected entry %q", e.Name)
+			continue
+		}
+		if e.Unit != unit {
+			t.Errorf("entry %q: unit %q, want %q", e.Name, e.Unit, unit)
+		}
+		if e.Value < 0 {
+			t.Errorf("entry %q: negative measurement %+v", e.Name, e)
+		}
+		if e.Name == "fleet.session_block" && e.Value <= 0 {
+			t.Errorf("session-block cost must be positive: %+v", e)
+		}
+	}
+}
+
 func report(entries ...Entry) *Report {
 	return &Report{Schema: Schema, Suite: "core", Entries: entries}
 }

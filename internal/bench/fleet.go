@@ -1,0 +1,90 @@
+package bench
+
+import (
+	"time"
+
+	"mute/internal/fleet"
+	"mute/internal/stream"
+)
+
+// Fleet-suite workload knobs; tests shrink them to keep the suite fast.
+var (
+	// fleetSessions / fleetBlocks shape the throughput measurement — enough
+	// sessions that per-tick overheads amortize, enough blocks that the
+	// steady state dominates warmup.
+	fleetSessions = 64
+	fleetBlocks   = 300
+	// fleetPacedSessions / fleetPacedDuration shape the paced capacity
+	// probe over the real UDP transport.
+	fleetPacedSessions = 500
+	fleetPacedDuration = 2 * time.Second
+	// fleetRounds repeats each measurement; the best round is reported for
+	// the same reason measure keeps the fastest — co-tenant noise on a
+	// shared host only ever adds time (and deadline misses).
+	fleetRounds = 3
+)
+
+// fleetFaults is the impairment template behind both fleet measurements:
+// the capacity numbers are for realistically lossy links, not a lab
+// loopback.
+func fleetFaults() stream.LossParams {
+	return stream.LossParams{Seed: 1, Loss: 0.02, MeanBurst: 2, Reorder: 0.02, Duplicate: 0.01}
+}
+
+// runFleet measures the session server's serving capacity.
+//
+// The gated entries come from throughput mode — CPU cost per
+// session-block and its reciprocal in realtime sessions per core — which
+// are stable on shared CI because they count work, not wall-clock
+// punctuality. The paced run publishes its block-deadline miss rate as an
+// informational "%" entry: the number that matters operationally, but
+// gated by nothing, because host-level scheduling freezes (tens of ms on
+// shared runners, measured against an idle pacer) can charge a whole
+// fleet's worth of misses to an innocent tick.
+func runFleet() ([]Entry, error) {
+	entries := []Entry{calibrateEntry()}
+
+	var best *fleet.LoadResult
+	for r := 0; r < fleetRounds; r++ {
+		res, err := fleet.RunLoad(fleet.LoadConfig{
+			Sessions:   fleetSessions,
+			Blocks:     fleetBlocks,
+			Throughput: true,
+			Faults:     fleetFaults(),
+			SkewPPM:    80,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if best == nil || res.SessionBlockNS < best.SessionBlockNS {
+			best = res
+		}
+	}
+	entries = append(entries,
+		Entry{Name: "fleet.session_block", Value: best.SessionBlockNS, Unit: "ns/op", Iters: int(best.SessionBlocks)},
+		Entry{Name: "fleet.sessions_per_core", Value: best.SessionsPerCore, Unit: "x", Iters: fleetRounds},
+	)
+
+	var paced *fleet.LoadResult
+	for r := 0; r < fleetRounds; r++ {
+		res, err := fleet.RunLoad(fleet.LoadConfig{
+			Sessions: fleetPacedSessions,
+			Duration: fleetPacedDuration,
+			Faults:   fleetFaults(),
+			SkewPPM:  80,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if paced == nil || res.MissRate < paced.MissRate {
+			paced = res
+		}
+	}
+	// "%" and "ms*" are not gated units: these publish the operational
+	// numbers without letting runner-scheduling noise fail CI.
+	entries = append(entries,
+		Entry{Name: "fleet.paced500.miss", Value: 100 * paced.MissRate, Unit: "%", Iters: int(paced.SessionBlocks)},
+		Entry{Name: "fleet.paced500.p99_late", Value: paced.P99LatenessNS / 1e6, Unit: "ms*", Iters: int(paced.Blocks)},
+	)
+	return entries, nil
+}

@@ -1,0 +1,73 @@
+package fleet
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"mute/internal/stream"
+)
+
+// framePool recycles stream.Frame structs (and their sample arrays)
+// across every session of a server. The demux decodes each datagram into
+// a pooled frame, the jitter buffer hands consumed frames back through
+// its release hook, and in steady state the ingest path allocates
+// nothing: pool growth stops once the fleet's in-flight frame population
+// peaks (pinned by the soak test).
+//
+// A recycled frame is length-reset before reuse — Samples is sliced to
+// zero and every header field zeroed — and UnmarshalInto overwrites all
+// of it on decode. The reset is not redundant belt-and-braces: a frame
+// released mid-life still carries another session's audio, and a decode
+// bug that trusted any surviving field would leak those samples across
+// sessions. The poisoning test makes that failure loud by filling freed
+// sample arrays with a sentinel.
+type framePool struct {
+	pool sync.Pool
+	// news counts pool misses (fresh allocations), gets and puts count
+	// traffic; bounded news growth is the soak test's pool-health signal.
+	news atomic.Int64
+	gets atomic.Int64
+	puts atomic.Int64
+	// poison, when non-zero, overwrites the full capacity of every freed
+	// frame's sample array — the cross-session staleness tripwire.
+	poison float64
+}
+
+func newFramePool() *framePool {
+	p := &framePool{}
+	p.pool.New = func() any {
+		p.news.Add(1)
+		return &stream.Frame{Samples: make([]float64, 0, stream.MaxFrameSamples)}
+	}
+	return p
+}
+
+// get returns a length-reset frame ready for UnmarshalInto.
+func (p *framePool) get() *stream.Frame {
+	p.gets.Add(1)
+	return p.pool.Get().(*stream.Frame)
+}
+
+// put length-resets f and returns it to the pool. f must not be used
+// afterwards.
+func (p *framePool) put(f *stream.Frame) {
+	if p.poison != 0 {
+		full := f.Samples[:cap(f.Samples)]
+		for i := range full {
+			full[i] = p.poison
+		}
+	}
+	f.Seq = 0
+	f.Timestamp = 0
+	f.Parity = false
+	f.GroupSize = 0
+	f.Samples = f.Samples[:0]
+	p.puts.Add(1)
+	p.pool.Put(f)
+}
+
+// counters returns the lifetime pool traffic: fresh allocations, gets,
+// and puts.
+func (p *framePool) counters() (news, gets, puts int64) {
+	return p.news.Load(), p.gets.Load(), p.puts.Load()
+}

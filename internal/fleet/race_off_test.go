@@ -1,0 +1,10 @@
+//go:build !race
+
+package fleet
+
+// raceEnabled reports whether the race detector is compiled in. The
+// zero-allocation and pool-growth pins are meaningless under -race: the
+// race runtime's sync.Pool.Put drops a quarter of returned items at
+// random (by design), so pool misses — and their allocations — are
+// guaranteed.
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package fleet
+
+// raceEnabled reports whether the race detector is compiled in. See
+// race_off_test.go for why the allocation pins are skipped under -race.
+const raceEnabled = true

@@ -480,6 +480,28 @@ func (pl *Pipeline) Run(total, block int) error {
 // Samples returns how many samples the pipeline has processed.
 func (pl *Pipeline) Samples() int64 { return pl.t }
 
+// Close tears the pipeline down: block scratch buffers are released, and
+// any bound stage that owns an external resource — a source draining a
+// network receiver, an ambient leg holding pooled state — is closed via
+// its io.Closer face. A session server opening and closing thousands of
+// pipelines per hour must not accrete per-session scratch; everything a
+// Build allocated is droppable after Close. Close is idempotent; the
+// pipeline must not be driven afterwards. The first stage close error
+// wins, but every stage is still closed.
+func (pl *Pipeline) Close() error {
+	pl.x, pl.a, pl.eb, pl.m = nil, nil, nil, nil
+	var first error
+	for _, stage := range []any{pl.ref, pl.amb, pl.drift} {
+		if c, ok := stage.(interface{ Close() error }); ok {
+			if err := c.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	pl.ref, pl.amb, pl.drift = nil, nil, nil
+	return first
+}
+
 // Meters returns the accumulated ambient (under-cup) and residual powers
 // — the live CLI's end-of-run cancellation figure.
 func (pl *Pipeline) Meters() (noisePow, resPow float64) {

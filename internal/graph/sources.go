@@ -89,6 +89,16 @@ func (s *ReceiverSource) Pull(dst []float64, mask []bool, _ int64) int {
 	return len(dst)
 }
 
+// Close forwards Pipeline.Close to the frame buffer when it owns a
+// closable resource (a pooled session buffer, a network receiver): the
+// buffer must get the chance to hand retained frames back to their pool.
+func (s *ReceiverSource) Close() error {
+	if c, ok := s.Buf.(interface{ Close() error }); ok {
+		return c.Close()
+	}
+	return nil
+}
+
 // Stats implements StreamStats for the per-block live hooks.
 func (s *ReceiverSource) Stats() stream.JitterStats { return s.Buf.Stats() }
 

@@ -258,21 +258,23 @@ func packetizeSkewed(ref []float64, lt LossTransport) ([]float64, []bool, LossTr
 		rIdx += uint64(frameN)
 		avail := cs.Pos()
 		seq++
+		// Transfer's result is scratch reused next slot; the schedule holds
+		// deliveries across the whole phase, so copy.
 		if out := link.Transfer(f); len(out) > 0 {
-			sched = append(sched, delivery{at: avail, frames: out})
+			sched = append(sched, delivery{at: avail, frames: append([]*stream.Frame(nil), out...)})
 		}
 		if enc != nil {
 			if parity := enc.Add(f); parity != nil {
 				parity.Seq = seq
 				seq++
 				if out := link.Transfer(parity); len(out) > 0 {
-					sched = append(sched, delivery{at: avail, frames: out})
+					sched = append(sched, delivery{at: avail, frames: append([]*stream.Frame(nil), out...)})
 				}
 			}
 		}
 	}
 	if out := link.Drain(); len(out) > 0 {
-		sched = append(sched, delivery{at: cs.Pos(), frames: out, drain: true})
+		sched = append(sched, delivery{at: cs.Pos(), frames: append([]*stream.Frame(nil), out...), drain: true})
 	}
 
 	// Phase 2 — playout. Deliveries due at or before an event time land

@@ -43,13 +43,27 @@ const (
 
 // Marshal encodes the frame into wire format (16-bit PCM payload).
 func (f *Frame) Marshal() ([]byte, error) {
+	return f.AppendMarshal(nil)
+}
+
+// AppendMarshal appends the frame's wire encoding to dst and returns the
+// extended slice — the allocation-free encode path for senders that
+// recycle a scratch buffer across frames (pass dst[:0] with capacity).
+func (f *Frame) AppendMarshal(dst []byte) ([]byte, error) {
 	if len(f.Samples) == 0 {
 		return nil, fmt.Errorf("stream: empty frame")
 	}
 	if len(f.Samples) > MaxFrameSamples {
 		return nil, fmt.Errorf("stream: frame of %d samples exceeds max %d", len(f.Samples), MaxFrameSamples)
 	}
-	buf := make([]byte, headerSize+2*len(f.Samples))
+	need := headerSize + 2*len(f.Samples)
+	start := len(dst)
+	if cap(dst)-start >= need {
+		dst = dst[:start+need]
+	} else {
+		dst = append(dst, make([]byte, need)...)
+	}
+	buf := dst[start:]
 	binary.BigEndian.PutUint16(buf[0:2], frameMagic)
 	buf[2] = frameVersion
 	// Flags: bit 0 marks parity, bits 1-7 carry the FEC group size.
@@ -73,41 +87,78 @@ func (f *Frame) Marshal() ([]byte, error) {
 		v := int16(math.Round(s * 32767))
 		binary.BigEndian.PutUint16(buf[headerSize+2*i:], uint16(v))
 	}
-	return buf, nil
+	return dst, nil
+}
+
+// WireSize returns the encoded size of the frame starting at data[0],
+// derived from its header's sample count, or 0 when the header is too
+// short to carry one or the count is invalid. It does not validate magic
+// or version — it exists so framers layering on top of the wire format
+// (e.g. the fleet envelope's datagram coalescing) can find record
+// boundaries without decoding payloads.
+func WireSize(data []byte) int {
+	if len(data) < headerSize {
+		return 0
+	}
+	count := int(binary.BigEndian.Uint16(data[16:18]))
+	if count == 0 || count > MaxFrameSamples {
+		return 0
+	}
+	return headerSize + 2*count
 }
 
 // Unmarshal decodes a wire frame.
 func Unmarshal(data []byte) (*Frame, error) {
+	f := &Frame{}
+	if err := f.UnmarshalInto(data); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// UnmarshalInto decodes a wire frame into f, reusing f.Samples' backing
+// array when its capacity suffices — the allocation-free decode path for
+// receivers that recycle frames through a pool. EVERY field of f is
+// overwritten (on the error path f is left untouched): a pooled frame may
+// carry a stale Parity flag, group size, or longer Samples slice from its
+// previous life, and any field that survived a decode would leak one
+// session's state into another.
+func (f *Frame) UnmarshalInto(data []byte) error {
 	if len(data) < headerSize {
-		return nil, fmt.Errorf("stream: short frame (%d bytes)", len(data))
+		return fmt.Errorf("stream: short frame (%d bytes)", len(data))
 	}
 	if binary.BigEndian.Uint16(data[0:2]) != frameMagic {
-		return nil, fmt.Errorf("stream: bad magic")
+		return fmt.Errorf("stream: bad magic")
 	}
 	if data[2] != frameVersion {
-		return nil, fmt.Errorf("stream: unsupported version %d", data[2])
+		return fmt.Errorf("stream: unsupported version %d", data[2])
 	}
 	count := int(binary.BigEndian.Uint16(data[16:18]))
 	if count == 0 || count > MaxFrameSamples {
-		return nil, fmt.Errorf("stream: invalid sample count %d", count)
+		return fmt.Errorf("stream: invalid sample count %d", count)
 	}
 	if len(data) < headerSize+2*count {
-		return nil, fmt.Errorf("stream: truncated payload (%d bytes for %d samples)", len(data)-headerSize, count)
+		return fmt.Errorf("stream: truncated payload (%d bytes for %d samples)", len(data)-headerSize, count)
 	}
-	f := &Frame{
-		Seq:       binary.BigEndian.Uint32(data[4:8]),
-		Timestamp: binary.BigEndian.Uint64(data[8:16]),
-		Parity:    data[3]&1 == 1,
-		Samples:   make([]float64, count),
-	}
-	if f.Parity {
+	parity := data[3]&1 == 1
+	groupSize := byte(0)
+	if parity {
 		// The group size is meaningful only on parity frames; ignoring the
 		// bits otherwise keeps decoding canonical (decode→encode→decode is
 		// the identity), which the fuzz round-trip relies on.
-		f.GroupSize = data[3] >> 1
-		if f.GroupSize < 2 {
-			return nil, fmt.Errorf("stream: parity frame with invalid group size %d", f.GroupSize)
+		groupSize = data[3] >> 1
+		if groupSize < 2 {
+			return fmt.Errorf("stream: parity frame with invalid group size %d", groupSize)
 		}
+	}
+	f.Seq = binary.BigEndian.Uint32(data[4:8])
+	f.Timestamp = binary.BigEndian.Uint64(data[8:16])
+	f.Parity = parity
+	f.GroupSize = groupSize
+	if cap(f.Samples) < count {
+		f.Samples = make([]float64, count)
+	} else {
+		f.Samples = f.Samples[:count]
 	}
 	for i := 0; i < count; i++ {
 		v := int16(binary.BigEndian.Uint16(data[headerSize+2*i:]))
@@ -119,5 +170,5 @@ func Unmarshal(data []byte) (*Frame, error) {
 		}
 		f.Samples[i] = float64(v) / 32767
 	}
-	return f, nil
+	return nil
 }

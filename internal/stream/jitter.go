@@ -40,6 +40,7 @@ type JitterBuffer struct {
 	started bool
 	depth   int // max buffered frames
 	stats   JitterStats
+	release func(*Frame)
 }
 
 // NewJitterBuffer creates a buffer holding at most depth frames.
@@ -48,6 +49,54 @@ func NewJitterBuffer(depth int) (*JitterBuffer, error) {
 		return nil, fmt.Errorf("stream: jitter depth must be positive, got %d", depth)
 	}
 	return &JitterBuffer{frames: make(map[uint64]*Frame), depth: depth}, nil
+}
+
+// SetRelease registers fn to receive every frame the buffer is finished
+// with: frames fully consumed by a Pop, frames discarded because earlier
+// coverage shadowed them, frames evicted by a depth overflow, and frames
+// dropped by Reset. Pop copies samples out before releasing, so fn may
+// recycle the frame immediately (the fleet server returns frames to a
+// sync.Pool this way). Frames Push rejects (late, duplicate) were never
+// retained and are NOT passed to fn — the pusher still owns those. fn runs
+// with the buffer's lock held; it must not call back into the buffer.
+func (j *JitterBuffer) SetRelease(fn func(*Frame)) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.release = fn
+}
+
+// drop releases a frame the buffer retained and is now done with.
+func (j *JitterBuffer) drop(f *Frame) {
+	if j.release != nil {
+		j.release(f)
+	}
+}
+
+// popFront removes the first k timestamps from the ascending index while
+// keeping the slice anchored to the front of its backing array. Reslicing
+// with order[k:] instead would bleed capacity off the front until append
+// has to reallocate — a small but periodic steady-state allocation the
+// zero-alloc serving path cannot afford.
+func (j *JitterBuffer) popFront(k int) {
+	n := copy(j.order, j.order[k:])
+	j.order = j.order[:n]
+}
+
+// Reset drops every buffered frame (releasing each through the SetRelease
+// hook) and rewinds the playout clock to the unstarted state, keeping the
+// lifetime stats. It is the teardown path for pooled deployments: a
+// session server must hand its remaining frames back to the frame pool
+// when a session closes, not leak them to the garbage collector.
+func (j *JitterBuffer) Reset() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for _, ts := range j.order {
+		j.drop(j.frames[ts])
+		delete(j.frames, ts)
+	}
+	j.order = j.order[:0]
+	j.next = 0
+	j.started = false
 }
 
 // Anchor pins the playout clock to capture index ts, for receivers that
@@ -98,7 +147,8 @@ func (j *JitterBuffer) Push(f *Frame) bool {
 	}
 	if len(j.frames) >= j.depth {
 		oldest := j.order[0]
-		j.order = j.order[1:]
+		j.popFront(1)
+		j.drop(j.frames[oldest])
 		delete(j.frames, oldest)
 		j.stats.FramesDropped++
 	}
@@ -145,8 +195,9 @@ func (j *JitterBuffer) PopMask(dst []float64, mask []bool) int {
 		cur := j.next + uint64(i)
 		if ts+uint64(len(f.Samples)) <= cur {
 			// Fully in the past (overlapped by an earlier frame).
+			j.drop(f)
 			delete(j.frames, ts)
-			j.order = j.order[1:]
+			j.popFront(1)
 			continue
 		}
 		if ts >= end {
@@ -170,8 +221,9 @@ func (j *JitterBuffer) PopMask(dst []float64, mask []bool) int {
 		i += n
 		real += n
 		if off+n >= len(f.Samples) {
+			j.drop(f)
 			delete(j.frames, ts)
-			j.order = j.order[1:]
+			j.popFront(1)
 		}
 	}
 	j.stats.SamplesDelivered += uint64(real)

@@ -2,7 +2,6 @@ package stream
 
 import (
 	"fmt"
-	"sort"
 
 	"mute/internal/audio"
 )
@@ -131,6 +130,11 @@ type LossyLink struct {
 	pBG   float64 // bad → good transition probability
 	queue []linkFrame
 	stats LinkStats
+	// Delivery scratch, reused across slots so steady-state Transfer calls
+	// allocate nothing — at fleet scale (hundreds of links ticking every
+	// block) per-slot slices are enough garbage to schedule GC pauses.
+	dueScratch []linkFrame
+	outScratch []*Frame
 }
 
 // NewLossyLink creates an impairment model from validated parameters.
@@ -180,9 +184,10 @@ func (l *LossyLink) enqueue(due uint64, f *Frame) {
 }
 
 // takeDue removes and returns every queued frame due at or before slot,
-// ordered by (due, insertion).
+// ordered by (due, insertion). The returned slice is scratch reused by
+// the next slot.
 func (l *LossyLink) takeDue(slot uint64) []*Frame {
-	var due []linkFrame
+	due := l.dueScratch[:0]
 	kept := l.queue[:0]
 	for _, q := range l.queue {
 		if q.due <= slot {
@@ -192,26 +197,33 @@ func (l *LossyLink) takeDue(slot uint64) []*Frame {
 		}
 	}
 	l.queue = kept
+	l.dueScratch = due
 	if len(due) == 0 {
 		return nil
 	}
-	sort.Slice(due, func(i, j int) bool {
-		if due[i].due != due[j].due {
-			return due[i].due < due[j].due
+	// Insertion sort: the due list is at most a few frames (a jitter
+	// cluster plus a duplicate), and unlike sort.Slice it does not
+	// allocate.
+	for i := 1; i < len(due); i++ {
+		for j := i; j > 0 && (due[j].due < due[j-1].due ||
+			(due[j].due == due[j-1].due && due[j].seq < due[j-1].seq)); j-- {
+			due[j], due[j-1] = due[j-1], due[j]
 		}
-		return due[i].seq < due[j].seq
-	})
-	out := make([]*Frame, len(due))
-	for i, q := range due {
-		out[i] = q.f
 	}
+	out := l.outScratch[:0]
+	for _, q := range due {
+		out = append(out, q.f)
+	}
+	l.outScratch = out
 	l.stats.Delivered += uint64(len(out))
 	return out
 }
 
 // Transfer offers f to the link, advances the link clock by one slot, and
 // returns the frames the link delivers in this slot, oldest first. A nil f
-// models an idle slot: time passes and delayed frames may emerge.
+// models an idle slot: time passes and delayed frames may emerge. The
+// returned slice is only valid until the next Transfer or Drain call;
+// consume (or copy) it before offering the next frame.
 func (l *LossyLink) Transfer(f *Frame) []*Frame {
 	if f != nil {
 		l.stats.Offered++
@@ -251,7 +263,8 @@ func (l *LossyLink) Transfer(f *Frame) []*Frame {
 }
 
 // Drain returns every frame still in flight, in delivery order, and
-// empties the link — the end-of-stream flush.
+// empties the link — the end-of-stream flush. Like Transfer's, the
+// returned slice is only valid until the next Transfer or Drain call.
 func (l *LossyLink) Drain() []*Frame {
 	if len(l.queue) == 0 {
 		return nil

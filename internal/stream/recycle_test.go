@@ -1,0 +1,243 @@
+package stream
+
+import (
+	"math"
+	"testing"
+)
+
+// frameAt builds a data frame of n ramp samples starting at capture index
+// ts, with values that survive the Q15 wire round trip exactly.
+func frameAt(ts uint64, n int) *Frame {
+	s := make([]float64, n)
+	for i := range s {
+		s[i] = float64(int(ts)+i%100) / 32767
+	}
+	return &Frame{Seq: uint32(ts), Timestamp: ts, Samples: s}
+}
+
+// TestJitterBufferReleaseHook pins every path a retained frame can leave
+// the buffer through: full consumption by a Pop, overlap discard, depth
+// eviction, and Reset — and that rejected frames are NOT released (the
+// pusher still owns those).
+func TestJitterBufferReleaseHook(t *testing.T) {
+	jb, err := NewJitterBuffer(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var released []*Frame
+	jb.SetRelease(func(f *Frame) { released = append(released, f) })
+
+	f0 := frameAt(0, 4)
+	f1 := frameAt(4, 4)
+	f2 := frameAt(8, 4)
+	if !jb.Push(f0) || !jb.Push(f1) {
+		t.Fatal("clean pushes rejected")
+	}
+	// Depth 2 is full: pushing f2 evicts f0.
+	if !jb.Push(f2) {
+		t.Fatal("push with eviction rejected")
+	}
+	if len(released) != 1 || released[0] != f0 {
+		t.Fatalf("eviction released %v, want [f0]", released)
+	}
+
+	// Duplicate and late frames are rejected, not released.
+	if jb.Push(frameAt(4, 4)) {
+		t.Fatal("duplicate accepted")
+	}
+	dst := make([]float64, 8)
+	jb.Pop(dst) // consumes f1 (ts 4..7 after clock anchored at 0) and part of the window
+	if jb.Push(frameAt(0, 4)) {
+		t.Fatal("late frame accepted")
+	}
+	for _, f := range released[1:] {
+		if f != f1 {
+			t.Fatalf("unexpected release %v", f)
+		}
+	}
+
+	// Reset releases whatever is still buffered (f2).
+	before := len(released)
+	jb.Reset()
+	if len(released) != before+1 || released[len(released)-1] != f2 {
+		t.Fatalf("reset released %v frames, want f2 last", released[before:])
+	}
+	if jb.Buffered() != 0 {
+		t.Fatalf("buffered %d after reset, want 0", jb.Buffered())
+	}
+	// The clock restarts: a frame at ts 100 re-anchors.
+	f := frameAt(100, 4)
+	if !jb.Push(f) {
+		t.Fatal("push after reset rejected")
+	}
+	n := jb.Pop(dst[:4])
+	if n != 4 {
+		t.Fatalf("popped %d real samples after re-anchor, want 4", n)
+	}
+}
+
+// TestJitterBufferOverlapRelease covers the shadowed-frame discard path:
+// a frame wholly overlapped by earlier coverage is released when the
+// ordered walk passes it.
+func TestJitterBufferOverlapRelease(t *testing.T) {
+	jb, err := NewJitterBuffer(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var released []*Frame
+	jb.SetRelease(func(f *Frame) { released = append(released, f) })
+	big := frameAt(0, 8)   // covers 0..7
+	small := frameAt(2, 2) // covered entirely by big
+	if !jb.Push(big) || !jb.Push(small) {
+		t.Fatal("pushes rejected")
+	}
+	dst := make([]float64, 8)
+	if n := jb.Pop(dst); n != 8 {
+		t.Fatalf("popped %d real samples, want 8", n)
+	}
+	// The shadowed frame is discarded when the next walk passes it.
+	jb.Pop(dst)
+	if len(released) != 2 {
+		t.Fatalf("released %d frames, want 2 (big consumed, small shadowed)", len(released))
+	}
+}
+
+// TestJitterBufferSteadyStateAllocFree pins the push/pop cycle at zero
+// allocations once warm: the order index must keep its backing array
+// (popFront) and the frame map must reuse its buckets.
+func TestJitterBufferSteadyStateAllocFree(t *testing.T) {
+	jb, err := NewJitterBuffer(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 40
+	frames := make([]*Frame, 64)
+	for i := range frames {
+		frames[i] = frameAt(0, n) // timestamps rewritten below
+	}
+	dst := make([]float64, n)
+	ts := uint64(0)
+	fi := 0
+	cycle := func() {
+		f := frames[fi%len(frames)]
+		fi++
+		f.Timestamp = ts
+		jb.Push(f)
+		jb.Pop(dst)
+		ts += n
+	}
+	for i := 0; i < 256; i++ {
+		cycle() // warm: grow order capacity, settle map buckets
+	}
+	if allocs := testing.AllocsPerRun(200, cycle); allocs > 0 {
+		t.Fatalf("steady-state push/pop allocates %.1f times per cycle, want 0", allocs)
+	}
+}
+
+// TestUnmarshalIntoReusesAndResets pins the two pooled-decode contracts:
+// a frame with enough capacity is decoded without allocating, and every
+// stale field from the frame's previous life — parity flag, group size,
+// longer sample slice — is overwritten.
+func TestUnmarshalIntoReusesAndResets(t *testing.T) {
+	wire, err := frameAt(640, 20).Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A pooled frame fresh from a parity-frame life, with poisoned spare
+	// capacity beyond the new payload.
+	f := &Frame{
+		Seq:       999,
+		Timestamp: 12345,
+		Parity:    true,
+		GroupSize: 4,
+		Samples:   make([]float64, 0, 64),
+	}
+	poison := f.Samples[:cap(f.Samples)]
+	for i := range poison {
+		poison[i] = math.NaN()
+	}
+	if err := f.UnmarshalInto(wire); err != nil {
+		t.Fatal(err)
+	}
+	if f.Parity || f.GroupSize != 0 {
+		t.Fatalf("stale parity state survived: parity=%v group=%d", f.Parity, f.GroupSize)
+	}
+	if f.Seq != 640 || f.Timestamp != 640 || len(f.Samples) != 20 {
+		t.Fatalf("decoded header wrong: seq=%d ts=%d n=%d", f.Seq, f.Timestamp, len(f.Samples))
+	}
+	for i, v := range f.Samples {
+		if math.IsNaN(v) {
+			t.Fatalf("poison leaked into decoded sample %d", i)
+		}
+	}
+	// Same-capacity decode must not allocate.
+	if allocs := testing.AllocsPerRun(100, func() {
+		if err := f.UnmarshalInto(wire); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs > 0 {
+		t.Fatalf("UnmarshalInto allocates %.1f times with sufficient capacity, want 0", allocs)
+	}
+
+	// Equivalence with the allocating decoder.
+	ref, err := Unmarshal(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Seq != f.Seq || ref.Timestamp != f.Timestamp || len(ref.Samples) != len(f.Samples) {
+		t.Fatal("UnmarshalInto and Unmarshal disagree on the header")
+	}
+	for i := range ref.Samples {
+		if ref.Samples[i] != f.Samples[i] {
+			t.Fatalf("sample %d: UnmarshalInto %v vs Unmarshal %v", i, f.Samples[i], ref.Samples[i])
+		}
+	}
+
+	// The error path leaves the frame untouched.
+	before := *f
+	if err := f.UnmarshalInto(wire[:5]); err == nil {
+		t.Fatal("short frame decoded")
+	}
+	if f.Seq != before.Seq || len(f.Samples) != len(before.Samples) {
+		t.Fatal("failed decode mutated the frame")
+	}
+}
+
+// TestAppendMarshalReusesAndMatches pins the pooled-encode contract:
+// AppendMarshal with sufficient spare capacity appends in place without
+// allocating, preserves any prefix already in dst, and produces bytes
+// identical to Marshal.
+func TestAppendMarshalReusesAndMatches(t *testing.T) {
+	f := frameAt(7, 20)
+	want, err := f.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 0, 4+len(want))
+	prefix := append(buf, 0xDE, 0xAD, 0xBE, 0xEF)
+	got, err := f.AppendMarshal(prefix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &got[0] != &prefix[0] {
+		t.Fatal("AppendMarshal reallocated despite sufficient capacity")
+	}
+	if len(got) != 4+len(want) {
+		t.Fatalf("appended length %d, want %d", len(got), 4+len(want))
+	}
+	for i := range want {
+		if got[4+i] != want[i] {
+			t.Fatalf("byte %d: AppendMarshal %#x vs Marshal %#x", i, got[4+i], want[i])
+		}
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		if _, err := f.AppendMarshal(got[:0]); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs > 0 {
+		t.Fatalf("AppendMarshal allocates %.1f times on the reuse path, want 0", allocs)
+	}
+	if _, err := (&Frame{}).AppendMarshal(nil); err == nil {
+		t.Fatal("AppendMarshal accepted an empty frame")
+	}
+}

@@ -3,6 +3,7 @@ package stream
 import (
 	"fmt"
 	"net"
+	"sync/atomic"
 	"time"
 )
 
@@ -141,13 +142,20 @@ func (s *Sender) Close() error {
 
 // Receiver listens for audio frames on a UDP port and feeds a jitter
 // buffer. It is the network-transport face of the ear device.
+//
+// One goroutine Polls; the jitter buffer, Stats, Recovered, and Buffered
+// are safe to call from others (a telemetry scraper, a supervisor). The
+// corrupt/recovered counters are atomics for exactly that reason: they
+// used to be plain fields written by Poll, and a concurrent Stats read —
+// routine once many receivers share a process with a stats fan-in — was a
+// data race.
 type Receiver struct {
 	conn      *net.UDPConn
 	jb        *JitterBuffer
 	buf       []byte
 	fec       *FECDecoder
-	recovered uint64
-	corrupt   uint64
+	recovered atomic.Uint64
+	corrupt   atomic.Uint64
 	obs       func(timestamp uint64)
 }
 
@@ -195,7 +203,7 @@ func (r *Receiver) Poll(timeout time.Duration) (bool, error) {
 	}
 	f, err := Unmarshal(r.buf[:n])
 	if err != nil {
-		r.corrupt++
+		r.corrupt.Add(1)
 		return false, nil
 	}
 	out := r.fec.Add(f)
@@ -203,7 +211,7 @@ func (r *Receiver) Poll(timeout time.Duration) (bool, error) {
 		return false, nil
 	}
 	if out != f {
-		r.recovered++
+		r.recovered.Add(1)
 	}
 	ok := r.jb.Push(out)
 	if ok && out == f && r.obs != nil {
@@ -221,7 +229,7 @@ func (r *Receiver) Poll(timeout time.Duration) (bool, error) {
 func (r *Receiver) SetFrameObserver(fn func(timestamp uint64)) { r.obs = fn }
 
 // Recovered returns how many lost frames FEC has reconstructed.
-func (r *Receiver) Recovered() uint64 { return r.recovered }
+func (r *Receiver) Recovered() uint64 { return r.recovered.Load() }
 
 // Pop drains the next len(dst) ordered samples from the jitter buffer.
 func (r *Receiver) Pop(dst []float64) int { return r.jb.Pop(dst) }
@@ -234,7 +242,7 @@ func (r *Receiver) PopMask(dst []float64, mask []bool) int { return r.jb.PopMask
 // malformed-datagram count.
 func (r *Receiver) Stats() JitterStats {
 	st := r.jb.Stats()
-	st.FramesCorrupt = r.corrupt
+	st.FramesCorrupt = r.corrupt.Load()
 	return st
 }
 

@@ -67,6 +67,59 @@ func TestMergeDeterministicAcrossWorkers(t *testing.T) {
 	}
 }
 
+// TestMergeUnderConcurrentChildWrites is the fleet fan-in pattern: every
+// session owns a child registry its serving goroutine writes continuously,
+// and a scraper merges snapshots of all children while they are hot. The
+// mid-flight merges must be race-free (Merge holds the child's read lock;
+// metric updates are atomic), and once the writers quiesce, a final merge
+// in session-id order must equal the sequential aggregate exactly.
+func TestMergeUnderConcurrentChildWrites(t *testing.T) {
+	const sessions, rounds = 8, 200
+	kids := make([]*Registry, sessions)
+	for i := range kids {
+		kids[i] = NewRegistry()
+	}
+	var wg sync.WaitGroup
+	for i := range kids {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := kids[i].Counter("fleet.session.frames_in")
+			h := kids[i].Histogram("residual", DefaultHistogramOpts())
+			for r := 0; r < rounds; r++ {
+				c.Inc()
+				kids[i].Gauge("fleet.session.buffered").Set(float64(r))
+				h.Observe(float64(i+1) * 1e-3)
+			}
+		}(i)
+	}
+	// Scrape while the writers are hot: values are torn-free but
+	// unasserted — this pass exists for the race detector.
+	for s := 0; s < 20; s++ {
+		hot := NewRegistry()
+		for _, kid := range kids {
+			hot.Merge(kid)
+		}
+	}
+	wg.Wait()
+
+	final := NewRegistry()
+	for _, kid := range kids { // ascending session order — the fleet contract
+		final.Merge(kid)
+	}
+	if got := final.Counter("fleet.session.frames_in").Value(); got != sessions*rounds {
+		t.Errorf("fan-in lost counter increments: %d, want %d", got, sessions*rounds)
+	}
+	if got := final.Histogram("residual", DefaultHistogramOpts()).Count(); got != sessions*rounds {
+		t.Errorf("fan-in lost histogram observations: %d, want %d", got, sessions*rounds)
+	}
+	// The last-merged child's gauge wins — that is what "deterministic
+	// order" buys: the aggregate is a pure function of the merge sequence.
+	if got := final.Gauge("fleet.session.buffered").Value(); got != rounds-1 {
+		t.Errorf("gauge after ordered fan-in = %g, want %d", got, rounds-1)
+	}
+}
+
 // TestMergeSemantics: counters add, set gauges overwrite (unset ones do
 // not), histograms add, nil children are no-ops.
 func TestMergeSemantics(t *testing.T) {
