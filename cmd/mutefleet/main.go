@@ -21,6 +21,13 @@
 // A smoke invocation for CI scale testing:
 //
 //	mutefleet -sessions 1000 -duration 2s
+//
+// Chaos mode runs the deterministic lifecycle torture schedule instead of
+// a load measurement: seeded churn storms, malformed floods, a poisoned
+// session, an overload spike, and a mid-run drain/adopt handoff, audited
+// against the fleet's invariants (exit 1 on any violation):
+//
+//	mutefleet -chaos -chaos-blocks 256 -seed 1
 package main
 
 import (
@@ -54,8 +61,23 @@ func main() {
 		skewPPM    = flag.Float64("skew-ppm", 80, "oscillator skew applied to every third user")
 		jsonOut    = flag.String("json", "", "write the run summary as JSON to this file")
 		showTelem  = flag.Bool("telemetry", false, "print the merged fleet telemetry snapshot")
+
+		chaos       = flag.Bool("chaos", false, "run the deterministic chaos schedule and audit lifecycle invariants")
+		chaosBlocks = flag.Int("chaos-blocks", 256, "chaos mode: total ticks across both servers")
+		chaosPeers  = flag.Int("chaos-peers", 24, "chaos mode: long-lived background sessions")
+		seed        = flag.Uint64("seed", 1, "chaos mode: impairment seed (replays are exact)")
 	)
 	flag.Parse()
+
+	if *chaos {
+		runChaos(fleet.ChaosConfig{
+			Blocks: *chaosBlocks,
+			Peers:  *chaosPeers,
+			Seed:   *seed,
+			Shards: *shards,
+		}, *jsonOut)
+		return
+	}
 
 	cfg := fleet.LoadConfig{
 		Sessions:   *sessions,
@@ -118,4 +140,39 @@ func main() {
 		}
 		fmt.Printf("mutefleet: wrote %s\n", *jsonOut)
 	}
+}
+
+// runChaos executes the chaos schedule and reports the audit; any
+// invariant violation exits nonzero so CI smoke steps fail loudly.
+func runChaos(cfg fleet.ChaosConfig, jsonOut string) {
+	res, err := fleet.RunChaos(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mutefleet:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("mutefleet: chaos run, %d blocks, %d peers, peak pressure %s\n",
+		res.Blocks, res.Peers, res.MaxPressure)
+	fmt.Printf("mutefleet: %d churned, %d quarantined, %d shed, %d drained, %d adopted\n",
+		res.Churned, res.Quarantined, res.Shed, res.Drained, res.Adopted)
+	fmt.Printf("mutefleet: %d frames in, %d unknown-session, %d bad envelopes, %d refused opens\n",
+		res.FramesIn, res.Unknown, res.BadEnvelope, res.Refused)
+	if jsonOut != "" {
+		raw, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mutefleet:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(jsonOut, append(raw, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "mutefleet:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("mutefleet: wrote %s\n", jsonOut)
+	}
+	if !res.Ok() {
+		for _, v := range res.Violations {
+			fmt.Fprintln(os.Stderr, "mutefleet: INVARIANT VIOLATED:", v)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("mutefleet: all lifecycle invariants held")
 }

@@ -302,6 +302,30 @@ func (bl *BlockLANC) Weights() []float64 {
 	return out
 }
 
+// SetWeights loads sample-domain filter taps (length M), transforming
+// each B-tap partition into its frequency-domain representation — the
+// inverse of Weights, used to warm-start a freshly built filter from a
+// snapshot (fleet session handoff) or a cached profile. Taps disabled by
+// LimitNonCausal are forced back to zero.
+func (bl *BlockLANC) SetWeights(w []float64) error {
+	if len(w) != bl.m {
+		return fmt.Errorf("core: weight length %d != %d", len(w), bl.m)
+	}
+	g := make([]float64, bl.f)
+	for p := 0; p < bl.np; p++ {
+		n := bl.partTaps(p)
+		copy(g[:n], w[p*bl.b:p*bl.b+n])
+		for i := n; i < bl.f; i++ {
+			g[i] = 0
+		}
+		bl.plan.Forward(bl.w[p], g)
+	}
+	if bl.skip > 0 {
+		bl.LimitNonCausal(bl.nonCausN - bl.skip)
+	}
+	return nil
+}
+
 // NonCausalTaps returns the declared non-causal tap count N.
 func (bl *BlockLANC) NonCausalTaps() int { return bl.nonCausN }
 

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"mute/internal/audio"
+)
+
+// TestBlockSetWeightsRoundTrip pins the warm-start contract used by fleet
+// session handoff: Weights → SetWeights on a fresh filter reproduces the
+// taps to floating-point round-off, for tap counts that do and don't
+// divide evenly into partitions.
+func TestBlockSetWeightsRoundTrip(t *testing.T) {
+	for _, taps := range []int{64, 56, 17} {
+		bl, err := NewBlock(BlockConfig{
+			FilterTaps: taps, BlockSize: 16, Mu: 0.5,
+			SecondaryPath: testHse, NonCausalTaps: 8,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Adapt against real traffic so the weights are dense and
+		// arbitrary, not a synthetic pattern a buggy transform could
+		// accidentally preserve.
+		runBlockANC(t, bl, audio.NewWhiteNoise(3, 8000, 0.5), 24, testHnr, testHne, testHse, 2048)
+		w := bl.Weights()
+
+		fresh, err := NewBlock(BlockConfig{
+			FilterTaps: taps, BlockSize: 16, Mu: 0.5,
+			SecondaryPath: testHse, NonCausalTaps: 8,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := fresh.SetWeights(w); err != nil {
+			t.Fatal(err)
+		}
+		got := fresh.Weights()
+		for i := range w {
+			if math.Abs(got[i]-w[i]) > 1e-12 {
+				t.Fatalf("taps=%d: weight %d round-tripped %g → %g", taps, i, w[i], got[i])
+			}
+		}
+		if err := fresh.SetWeights(make([]float64, taps+1)); err == nil {
+			t.Fatalf("taps=%d: wrong-length weights accepted", taps)
+		}
+	}
+}
+
+// TestBlockSetWeightsRespectsLimit pins the degraded-posture interaction:
+// loading weights into a filter whose non-causal window is shrunken must
+// keep the disabled taps at zero — a handoff cannot resurrect capacity the
+// pressure ladder took away.
+func TestBlockSetWeightsRespectsLimit(t *testing.T) {
+	cfg := BlockConfig{
+		FilterTaps: 64, BlockSize: 16, Mu: 0.5,
+		SecondaryPath: testHse, NonCausalTaps: 8,
+	}
+	bl, err := NewBlock(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runBlockANC(t, bl, audio.NewWhiteNoise(4, 8000, 0.5), 24, testHnr, testHne, testHse, 2048)
+	w := bl.Weights()
+
+	limited, err := NewBlock(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	limited.LimitNonCausal(3)
+	if err := limited.SetWeights(w); err != nil {
+		t.Fatal(err)
+	}
+	if got := limited.ActiveNonCausal(); got != 3 {
+		t.Fatalf("SetWeights changed the live window to %d, want 3", got)
+	}
+	got := limited.Weights()
+	// The zeroing happens in the frequency domain, so reconstructed
+	// disabled taps carry FFT round-off rather than exact zeros.
+	for i := 0; i < 8-3; i++ {
+		if math.Abs(got[i]) > 1e-12 {
+			t.Fatalf("disabled tap %d resurrected by SetWeights: %g", i, got[i])
+		}
+	}
+	for i := 8 - 3; i < len(w); i++ {
+		if math.Abs(got[i]-w[i]) > 1e-12 {
+			t.Fatalf("live tap %d corrupted: %g want %g", i, got[i], w[i])
+		}
+	}
+}

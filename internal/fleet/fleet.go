@@ -32,6 +32,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"mute/internal/core"
 	"mute/internal/dsp"
@@ -167,6 +168,17 @@ type Session struct {
 
 	ctrBlocks *telemetry.Counter
 	residual  []float64
+
+	// Lifecycle state (see lifecycle.go). quarantined/panicMsg are
+	// atomics because Ingest and tickSession both observe them under the
+	// server's read lock; pressureSeen and the probes are touched only on
+	// the session's own tick/ingest path.
+	quarantined  atomic.Bool
+	panicMsg     atomic.Pointer[string]
+	pressureSeen uint64
+	lastFrame    atomic.Int64 // server tick count when a frame last landed
+	tickProbe    func(block int64)
+	ingestProbe  func(payload []byte)
 }
 
 // Registry returns the session's private telemetry registry. The server
@@ -272,6 +284,9 @@ type Config struct {
 	// goroutine. 0 or 1 means sequential — the zero-allocation mode, since
 	// the shard fan-out itself costs a few allocations per tick.
 	Shards int
+	// Lifecycle tunes the overload watchdog and pressure ladder
+	// (lifecycle.go). The zero value arms the watchdog with defaults.
+	Lifecycle LifecycleConfig
 }
 
 // Server multiplexes cancellation sessions.
@@ -284,15 +299,32 @@ type Server struct {
 	pool  *framePool
 	cache *memo
 
-	reg        *telemetry.Registry
-	retired    *telemetry.Registry // closed sessions' registries, pre-merged
-	gSessions  *telemetry.Gauge
-	ctrBlocks  *telemetry.Counter
-	ctrMiss    *telemetry.Counter
-	ctrFrames  *telemetry.Counter
-	ctrBadEnv  *telemetry.Counter
-	ctrUnknown *telemetry.Counter
-	latenessNS *telemetry.Histogram
+	// Lifecycle state (lifecycle.go): the ladder itself lives in lc; the
+	// current rung and its change epoch are mirrored into atomics so the
+	// per-session tick path reads them lock-free, and draining gates
+	// admissions once Drain has begun.
+	lc            lifecycle
+	pressure      atomic.Int32
+	pressureEpoch atomic.Uint64
+	draining      atomic.Bool
+	ticks         atomic.Int64
+
+	reg         *telemetry.Registry
+	retired     *telemetry.Registry // closed sessions' registries, pre-merged
+	gSessions   *telemetry.Gauge
+	gPressure   *telemetry.Gauge
+	gLateEWMA   *telemetry.Gauge
+	ctrBlocks   *telemetry.Counter
+	ctrMiss     *telemetry.Counter
+	ctrFrames   *telemetry.Counter
+	ctrBadEnv   *telemetry.Counter
+	ctrUnknown  *telemetry.Counter
+	ctrQuar     *telemetry.Counter
+	ctrQuarDrop *telemetry.Counter
+	ctrShed     *telemetry.Counter
+	ctrRefused  *telemetry.Counter
+	ctrDrained  *telemetry.Counter
+	latenessNS  *telemetry.Histogram
 }
 
 // NewServer creates an empty session server.
@@ -302,27 +334,58 @@ func NewServer(cfg Config) *Server {
 		shards = 1
 	}
 	reg := telemetry.NewRegistry()
-	return &Server{
-		sessions:   make(map[uint32]*Session),
-		shards:     shards,
-		pool:       newFramePool(),
-		cache:      sharedSetup,
-		reg:        reg,
-		retired:    telemetry.NewRegistry(),
-		gSessions:  reg.Gauge("fleet.sessions"),
-		ctrBlocks:  reg.Counter("fleet.blocks"),
-		ctrMiss:    reg.Counter("fleet.deadline_miss"),
-		ctrFrames:  reg.Counter("fleet.frames_in"),
-		ctrBadEnv:  reg.Counter("fleet.bad_envelope"),
-		ctrUnknown: reg.Counter("fleet.unknown_session"),
-		latenessNS: reg.Histogram("fleet.tick_lateness_ns", telemetry.HistogramOpts{Lo: 1e3, Ratio: 2, Buckets: 26}),
+	s := &Server{
+		sessions:    make(map[uint32]*Session),
+		shards:      shards,
+		pool:        newFramePool(),
+		cache:       sharedSetup,
+		lc:          lifecycle{cfg: cfg.Lifecycle.withDefaults()},
+		reg:         reg,
+		retired:     telemetry.NewRegistry(),
+		gSessions:   reg.Gauge("fleet.sessions"),
+		gPressure:   reg.Gauge("fleet.pressure_state"),
+		gLateEWMA:   reg.Gauge("fleet.tick_lateness_ewma_ns"),
+		ctrBlocks:   reg.Counter("fleet.blocks"),
+		ctrMiss:     reg.Counter("fleet.deadline_miss"),
+		ctrFrames:   reg.Counter("fleet.frames_in"),
+		ctrBadEnv:   reg.Counter("fleet.bad_envelope"),
+		ctrUnknown:  reg.Counter("fleet.unknown_session"),
+		ctrQuar:     reg.Counter("fleet.quarantined"),
+		ctrQuarDrop: reg.Counter("fleet.quarantined_frames"),
+		ctrShed:     reg.Counter("fleet.shed"),
+		ctrRefused:  reg.Counter("fleet.refused"),
+		ctrDrained:  reg.Counter("fleet.drained"),
+		latenessNS:  reg.Histogram("fleet.tick_lateness_ns", telemetry.HistogramOpts{Lo: 1e3, Ratio: 2, Buckets: 26}),
 	}
+	// Publish the starting rung: merges skip never-set gauges, and the
+	// pressure state should be visible even for a fleet that never leaves
+	// NORMAL.
+	s.gPressure.Set(float64(PressureNormal))
+	return s
+}
+
+// admit checks the lifecycle admission gates: a draining server is
+// handing off, a shedding one is overloaded; neither accepts sessions.
+func (s *Server) admit() error {
+	if s.draining.Load() {
+		return ErrDraining
+	}
+	if PressureState(s.pressure.Load()) == PressureShedding {
+		s.ctrRefused.Inc()
+		return ErrOverloaded
+	}
+	return nil
 }
 
 // Open builds a session for id from profile and registers it. The heavy
 // setup — secondary-path calibration, room pre-renders — is served from
 // the cross-session memo cache when any session has computed it before.
+// While the server is draining or shedding, Open refuses with ErrDraining
+// or ErrOverloaded (match with errors.Is).
 func (s *Server) Open(id uint32, profile Profile, opts ...SessionOption) (*Session, error) {
+	if err := s.admit(); err != nil {
+		return nil, err
+	}
 	p, err := profile.withDefaults()
 	if err != nil {
 		return nil, err
@@ -393,10 +456,30 @@ func (s *Server) Open(id uint32, profile Profile, opts ...SessionOption) (*Sessi
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	// Re-check under the lock: the ladder may have shed or a drain begun
+	// while the session was being built.
+	if err := s.admit(); err != nil {
+		pl.Close()
+		return nil, err
+	}
 	if _, dup := s.sessions[id]; dup {
 		pl.Close()
 		return nil, fmt.Errorf("fleet: session %d already open", id)
 	}
+	// Adopt the current pressure posture at birth (a session opened under
+	// DEGRADED starts with the shrunken window); later rung changes are
+	// picked up by applyPressure on the session's own ticks.
+	sess.pressureSeen = s.pressureEpoch.Load()
+	if PressureState(s.pressure.Load()) >= PressureDegraded {
+		n := int(s.lc.cfg.DegradedFraction * float64(pl.NonCausalTaps))
+		switch {
+		case pl.LANC != nil:
+			pl.LANC.LimitNonCausal(n)
+		case pl.FDAF != nil:
+			pl.FDAF.LimitNonCausal(n)
+		}
+	}
+	sess.lastFrame.Store(s.ticks.Load())
 	s.sessions[id] = sess
 	i := sort.Search(len(s.order), func(k int) bool { return s.order[k] > id })
 	s.order = append(s.order, 0)
@@ -459,13 +542,18 @@ func (s *Server) Lookup(id uint32) *Session {
 
 // Ingest demultiplexes one fleet datagram — one enveloped record or a
 // coalesced batch of them — into the addressed sessions' jitter buffers.
-// Malformed envelopes and unknown session ids are counted
-// (fleet.bad_envelope, fleet.unknown_session); a corrupt inner frame is
-// charged to the addressed session. An unknown id or corrupt frame does
-// not stop the walk — later records in the batch still land — but a
-// malformed envelope does (boundaries past it cannot be trusted). The
-// first error is reported. The happy path is allocation-free: each
-// payload is decoded into a pooled frame in place.
+// Malformed envelopes are counted (fleet.bad_envelope) and reported; a
+// corrupt inner frame is charged to the addressed session. Records for
+// unknown session ids are counted (fleet.unknown_session) but are NOT an
+// error: under churn a frame racing its session's close is expected
+// traffic, and treating it as fatal would abort load generators and
+// relays mid-storm. Frames addressed to a quarantined session are dropped
+// and counted (fleet.quarantined_frames). A panic while decoding into a
+// session quarantines that session and the walk continues. An unknown id
+// or corrupt frame does not stop the walk — later records in the batch
+// still land — but a malformed envelope does (boundaries past it cannot
+// be trusted). The first error is reported. The happy path is
+// allocation-free: each payload is decoded into a pooled frame in place.
 func (s *Server) Ingest(datagram []byte) error {
 	if len(datagram) == 0 {
 		s.ctrBadEnv.Inc()
@@ -487,17 +575,39 @@ func (s *Server) Ingest(datagram []byte) error {
 		sess := s.sessions[id]
 		if sess == nil {
 			s.ctrUnknown.Inc()
-			if first == nil {
-				first = fmt.Errorf("fleet: datagram for unknown session %d", id)
-			}
+			continue
+		}
+		if sess.quarantined.Load() {
+			s.ctrQuarDrop.Inc()
 			continue
 		}
 		s.ctrFrames.Inc()
-		if err := sess.buf.ingest(payload); err != nil && first == nil {
+		if err := s.ingestSession(sess, payload); err != nil && first == nil {
 			first = err
 		}
 	}
 	return first
+}
+
+// ingestSession decodes one payload into a session with panic quarantine:
+// a panic inside the decode or jitter-buffer path poisons only the
+// addressed session, never the shared ingest loop.
+func (s *Server) ingestSession(sess *Session, payload []byte) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			sess.quarantine(fmt.Sprintf("ingest: %v", r))
+			s.ctrQuar.Inc()
+			err = nil
+		}
+	}()
+	if sess.ingestProbe != nil {
+		sess.ingestProbe(payload)
+	}
+	if err := sess.buf.ingest(payload); err != nil {
+		return err
+	}
+	sess.lastFrame.Store(s.ticks.Load())
+	return nil
 }
 
 // ProcessTick advances every session by one frame-sized block, in
@@ -505,9 +615,34 @@ func (s *Server) Ingest(datagram []byte) error {
 // and allocation-free; otherwise the id-ordered slice is partitioned
 // into contiguous chunks driven by shard goroutines. Sessions are
 // shared-nothing, so both schedules produce identical output bits.
+// Quarantined sessions are skipped; a session that panics mid-tick is
+// quarantined and its shard keeps ticking its neighbors. Under
+// PressureShedding, sessions starved past the idle horizon are reaped
+// after the tick (counted fleet.shed).
 func (s *Server) ProcessTick() error {
 	s.mu.RLock()
-	defer s.mu.RUnlock()
+	err := s.tickAllLocked()
+	var reap []uint32
+	if PressureState(s.pressure.Load()) == PressureShedding && s.lc.cfg.IdleReapTicks > 0 {
+		horizon := s.ticks.Load() - int64(s.lc.cfg.IdleReapTicks)
+		for _, id := range s.order {
+			if s.sessions[id].lastFrame.Load() < horizon {
+				reap = append(reap, id)
+			}
+		}
+	}
+	s.ticks.Add(1)
+	s.mu.RUnlock()
+	for _, id := range reap {
+		if s.CloseSession(id) == nil {
+			s.ctrShed.Inc()
+		}
+	}
+	return err
+}
+
+// tickAllLocked runs the tick schedule under the already-held read lock.
+func (s *Server) tickAllLocked() error {
 	if s.shards <= 1 || len(s.order) < 2 {
 		for _, id := range s.order {
 			if err := s.tickSession(s.sessions[id]); err != nil {
@@ -554,8 +689,26 @@ func (s *Server) ProcessTick() error {
 
 // tickSession runs one session block. The jitter buffer fills any gap
 // with concealed zeros, so a block is always full-length — a session
-// never stalls the tick.
-func (s *Server) tickSession(sess *Session) error {
+// never stalls the tick. A panic anywhere inside the session's pipeline
+// quarantines that one session — the counter fleet.quarantined ticks, the
+// panic value is retained on the session, and the caller's walk continues
+// with the next session — so a poisoned session costs the fleet one ear,
+// not the process.
+func (s *Server) tickSession(sess *Session) (err error) {
+	if sess.quarantined.Load() {
+		return nil
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			sess.quarantine(fmt.Sprintf("tick: %v", r))
+			s.ctrQuar.Inc()
+			err = nil
+		}
+	}()
+	sess.applyPressure(s)
+	if sess.tickProbe != nil {
+		sess.tickProbe(sess.ctrBlocks.Value())
+	}
 	n := sess.profile.FrameSamples
 	if sess.pl.FDAF != nil {
 		// The FDAF path processes fixed-size sub-blocks; FDAFBlock divides
@@ -576,7 +729,11 @@ func (s *Server) tickSession(sess *Session) error {
 // ObserveTick records one paced tick's completion lateness relative to
 // the *next* block deadline: lateness <= 0 means the tick beat the frame
 // period (no miss); lateness > 0 means every session in the tick missed
-// its block deadline. The pacer (fleet.Pace, cmd/mutefleet) calls this.
+// its block deadline. The pacer (cmd/mutefleet's paced loop) calls this
+// once per tick. It also feeds the overload watchdog: the smoothed
+// lateness drives the fleet-wide pressure ladder (lifecycle.go), and a
+// rung change bumps the pressure epoch that sessions re-read on their
+// next tick.
 func (s *Server) ObserveTick(latenessNS int64) {
 	if latenessNS > 0 {
 		s.mu.RLock()
@@ -585,6 +742,13 @@ func (s *Server) ObserveTick(latenessNS int64) {
 		s.latenessNS.Observe(float64(latenessNS))
 	} else {
 		s.latenessNS.Observe(0)
+	}
+	state, changed, ewma := s.lc.observe(latenessNS)
+	s.gLateEWMA.Set(ewma)
+	if changed {
+		s.pressure.Store(int32(state))
+		s.pressureEpoch.Add(1)
+		s.gPressure.Set(float64(state))
 	}
 }
 

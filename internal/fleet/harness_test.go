@@ -78,8 +78,8 @@ func lightProfile() Profile {
 	return p
 }
 
-// targetID is the session whose residual the isolation suite pins.
-const targetID uint32 = 7
+// targetID — the session whose residual the isolation suite pins — is
+// shared with the chaos harness (chaos.go).
 
 func targetFaults() stream.LossParams {
 	return stream.LossParams{

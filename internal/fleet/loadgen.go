@@ -40,6 +40,25 @@ type LoadConfig struct {
 	// Lead is how many blocks ahead of the playout clock users transmit
 	// (default 2) — the priming that keeps jitter buffers nonempty.
 	Lead int
+	// DrainGrace is the paced loop's late-drain grace window (default
+	// 500µs). The pacing contract: each block's socket drain normally runs
+	// until the next block deadline — the pacing sleep and the ingest work
+	// are the same wait — but when the loop is already past the deadline
+	// the drain still gets at least DrainGrace of wall time, so backlogged
+	// datagrams keep flowing to the jitter buffers instead of piling up in
+	// the socket while the loop catches up. Tightening it makes an
+	// overloaded run shed ingest work sooner (more concealment, faster
+	// ticks); loosening it favors frame delivery over catching up. Chaos
+	// runs tune it to push the fleet into the overload ladder on purpose.
+	DrainGrace time.Duration
+	// WarmupDrain is the per-block socket-drain window for the two warmup
+	// blocks before the paced clock starts (default 2ms): long enough for
+	// the warmup datagrams to cross the loopback socket, short enough not
+	// to delay the measured window.
+	WarmupDrain time.Duration
+	// Lifecycle tunes the server's overload watchdog for the run; the zero
+	// value arms it with defaults (see LifecycleConfig).
+	Lifecycle LifecycleConfig
 }
 
 // LoadResult summarizes a load run.
@@ -202,7 +221,13 @@ func RunLoadInto(cfg LoadConfig, merged *telemetry.Registry) (*LoadResult, error
 	if err != nil {
 		return nil, err
 	}
-	srv := NewServer(Config{Shards: cfg.Shards})
+	if cfg.DrainGrace <= 0 {
+		cfg.DrainGrace = 500 * time.Microsecond
+	}
+	if cfg.WarmupDrain <= 0 {
+		cfg.WarmupDrain = 2 * time.Millisecond
+	}
+	srv := NewServer(Config{Shards: cfg.Shards, Lifecycle: cfg.Lifecycle})
 	defer srv.Close()
 	users := make([]*loadUser, cfg.Sessions)
 	for i := range users {
@@ -295,12 +320,13 @@ func runPaced(srv *Server, users []*loadUser, cfg LoadConfig, p Profile, merged 
 
 	// drainUntil ingests arriving datagrams until due: the pacing sleep
 	// and the ingest work are the same wait. When the loop is running
-	// late a small grace window still drains the backlog, so frames keep
-	// flowing to the jitter buffers instead of piling up in the socket —
-	// an expired read deadline would otherwise refuse even buffered data.
+	// late the configured grace window (LoadConfig.DrainGrace) still
+	// drains the backlog, so frames keep flowing to the jitter buffers
+	// instead of piling up in the socket — an expired read deadline would
+	// otherwise refuse even buffered data.
 	buf := make([]byte, MaxDatagram)
 	drainUntil := func(due time.Time) {
-		if grace := time.Now().Add(500 * time.Microsecond); due.Before(grace) {
+		if grace := time.Now().Add(cfg.DrainGrace); due.Before(grace) {
 			due = grace
 		}
 		rx.SetReadDeadline(due)
@@ -348,7 +374,7 @@ func runPaced(srv *Server, users []*loadUser, cfg LoadConfig, p Profile, merged 
 		if err := batch.flush(); err != nil {
 			return nil, err
 		}
-		drainUntil(time.Now().Add(2 * time.Millisecond))
+		drainUntil(time.Now().Add(cfg.WarmupDrain))
 		if err := srv.ProcessTick(); err != nil {
 			return nil, err
 		}
