@@ -154,7 +154,7 @@ func All(c Config) ([]*Figure, error) {
 	fns := []fn{Fig8, Fig12, Fig13, Fig14, Fig15, Fig16, Fig17, Fig18, Fig19, LookaheadTable,
 		AblationTaps, AblationFMSNR, AblationNormalization,
 		Variants, Mobility, Contention, TrackerExperiment, MultiSource, AblationRLS,
-		LossSweep, OutageSweep, DriftSweep, FdafSweep}
+		LossSweep, OutageSweep, DriftSweep, FdafSweep, MeshSweep}
 	out := make([]*Figure, len(fns))
 	err := parallelFor(c.Workers, len(fns), func(i int) error {
 		fig, err := fns[i](c)
@@ -196,6 +196,7 @@ func ByID(id string) (func(Config) (*Figure, error), bool) {
 		"outage":         OutageSweep,
 		"drift":          DriftSweep,
 		"fdaf":           FdafSweep,
+		"mesh":           MeshSweep,
 	}
 	f, ok := m[id]
 	return f, ok

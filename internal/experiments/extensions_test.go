@@ -103,8 +103,8 @@ func TestAllRunsEveryExperiment(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(figs) != 23 {
-		t.Errorf("All returned %d figures, want 23", len(figs))
+	if len(figs) != 24 {
+		t.Errorf("All returned %d figures, want 24", len(figs))
 	}
 	seen := map[string]bool{}
 	for _, f := range figs {

@@ -1,0 +1,132 @@
+package mesh
+
+import (
+	"testing"
+	"time"
+
+	"mute/internal/acoustics"
+	"mute/internal/audio"
+)
+
+// bigMesh builds a 200-relay supervisor with distinct positions and
+// leads, pushed past warm-up into steady state.
+func bigMesh(tb testing.TB, relays int) (*Supervisor, []float64, []float64, []bool, []int, int64) {
+	tb.Helper()
+	cfg := Config{
+		Capacity:      relays,
+		EarPos:        acoustics.Point{X: 8, Y: 8},
+		WindowSamples: 1024,
+		MaxLagSamples: 64,
+		CandidateK:    8,
+	}
+	sup, err := NewSupervisor(cfg, nil, nil)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	leads := make([]int, relays)
+	for i := 0; i < relays; i++ {
+		x := float64(i%15) + 0.6
+		y := float64(i/15) + 0.6
+		if _, err := sup.Join(int64(i)+1000, acoustics.Point{X: x, Y: y}); err != nil {
+			tb.Fatal(err)
+		}
+		leads[i] = 1 + i%48
+	}
+	const steady = 4096
+	gen := audio.NewWhiteNoise(5, 8000, 0.4)
+	clean := make([]float64, steady+1<<17+64)
+	for i := range clean {
+		clean[i] = gen.Next()
+	}
+	fwd := make([]float64, relays)
+	real := make([]bool, relays)
+	var now int64
+	push := func() {
+		for s := 0; s < relays; s++ {
+			fwd[s] = clean[now+int64(leads[s])]
+			real[s] = true
+		}
+		if _, _, err := sup.Push(clean[now], fwd, real); err != nil {
+			tb.Fatal(err)
+		}
+		now++
+	}
+	for i := 0; i < steady; i++ {
+		push()
+	}
+	return sup, clean, fwd, real, leads, now
+}
+
+// TestMeshSteadyStateAllocFree pins the tentpole's allocation contract: a
+// 200-relay mesh in steady state — per-sample ring writes, liveness
+// updates, and full selection rounds included — allocates nothing.
+func TestMeshSteadyStateAllocFree(t *testing.T) {
+	const relays = 200
+	sup, clean, fwd, real, leads, now := bigMesh(t, relays)
+	span := 2 * sup.cfg.IntervalSamples // ≥ 2 selection rounds per run
+	allocs := testing.AllocsPerRun(5, func() {
+		for i := 0; i < span; i++ {
+			for s := 0; s < relays; s++ {
+				fwd[s] = clean[now+int64(leads[s])]
+				real[s] = true
+			}
+			if _, _, err := sup.Push(clean[now], fwd, real); err != nil {
+				t.Fatal(err)
+			}
+			now++
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state mesh allocates %.1f objects per %d-sample span, want 0", allocs, span)
+	}
+	if sup.Report().Rounds == 0 {
+		t.Fatal("no selection rounds ran during the measured span")
+	}
+}
+
+// TestMeshRealTimeBudget pins that a 200-relay mesh keeps up with the
+// sample clock by a wide margin: pushing one second of audio (8000
+// samples at 8 kHz), selection rounds included, must take well under one
+// second of wall clock even on a loaded CI machine.
+func TestMeshRealTimeBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock budget test")
+	}
+	const relays = 200
+	sup, clean, fwd, real, leads, now := bigMesh(t, relays)
+	const span = 8000
+	start := time.Now()
+	for i := 0; i < span; i++ {
+		for s := 0; s < relays; s++ {
+			fwd[s] = clean[now+int64(leads[s])]
+			real[s] = true
+		}
+		if _, _, err := sup.Push(clean[now], fwd, real); err != nil {
+			t.Fatal(err)
+		}
+		now++
+	}
+	elapsed := time.Since(start)
+	if budget := time.Second / 2; elapsed > budget {
+		t.Fatalf("200-relay mesh took %v for 1 s of audio, over the %v budget (not real-time capable)", elapsed, budget)
+	}
+}
+
+// BenchmarkMeshPush200 measures the steady-state per-sample cost of a
+// 200-relay mesh, selection rounds amortized in.
+func BenchmarkMeshPush200(b *testing.B) {
+	const relays = 200
+	sup, clean, fwd, real, leads, now := bigMesh(b, relays)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx := now + int64(i%(1<<16))
+		for s := 0; s < relays; s++ {
+			fwd[s] = clean[idx+int64(leads[s])]
+			real[s] = true
+		}
+		if _, _, err := sup.Push(clean[idx], fwd, real); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,210 @@
+package mesh
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"mute/internal/acoustics"
+)
+
+// InjectorConfig describes a deterministic mesh fault schedule. All fault
+// populations draw from one seeded stream, so a (seed, config) pair always
+// produces the same run.
+type InjectorConfig struct {
+	// Seed drives every random draw.
+	Seed int64
+	// Relays is the mesh size; Duration is the run length in samples at
+	// SampleRate.
+	Relays     int
+	Duration   int64
+	SampleRate float64
+
+	// ChurnPerMin is the expected fraction of the mesh that crashes per
+	// minute (0.10 = 10%/min). Each crash keeps the relay dark for a
+	// uniform draw in [MinDownSamples, MaxDownSamples] (defaults 2 s and
+	// 10 s worth), then the relay recovers and rejoins.
+	ChurnPerMin    float64
+	MinDownSamples int
+	MaxDownSamples int
+
+	// Flappers relays develop a flapping link: their stream alternates
+	// down/up with period FlapPeriodSamples (default 2048) for the whole
+	// run — the adversarial case for hysteresis. FlapperAt pins which
+	// relays flap (overriding the random draw) so experiments can place
+	// the flapper where it is acoustically tempting.
+	Flappers          int
+	FlapperAt         []int
+	FlapPeriodSamples int
+
+	// ZoneOutages correlated outages each pick a random live position and
+	// take down every relay within ZoneRadius (default 3 m) for
+	// ZoneDownSamples (default 4 s worth) — the "access point died" case.
+	ZoneOutages     int
+	ZoneRadius      float64
+	ZoneDownSamples int
+
+	// WalkAways relays physically wander off at WalkSpeed m/s (default
+	// 1.2) in a random direction from a random start time, staying
+	// link-alive while their acoustic usefulness decays.
+	WalkAways int
+	WalkSpeed float64
+}
+
+func (c *InjectorConfig) fill() {
+	if c.SampleRate <= 0 {
+		c.SampleRate = 8000
+	}
+	if c.MinDownSamples <= 0 {
+		c.MinDownSamples = int(2 * c.SampleRate)
+	}
+	if c.MaxDownSamples <= c.MinDownSamples {
+		c.MaxDownSamples = int(10 * c.SampleRate)
+	}
+	if c.FlapPeriodSamples <= 0 {
+		c.FlapPeriodSamples = 2048
+	}
+	if c.ZoneRadius <= 0 {
+		c.ZoneRadius = 3
+	}
+	if c.ZoneDownSamples <= 0 {
+		c.ZoneDownSamples = int(4 * c.SampleRate)
+	}
+	if c.WalkSpeed <= 0 {
+		c.WalkSpeed = 1.2
+	}
+}
+
+// faultEvent is one scheduled link transition: relay goes down (or a
+// nested fault releases) at sample at.
+type faultEvent struct {
+	at    int64
+	relay int
+	down  bool
+}
+
+// Injector replays a precomputed fault schedule sample by sample. Link
+// states nest (a relay inside a zone outage that also crashes stays down
+// until both faults release), so per-relay state is a depth counter, not
+// a flag. Advance and Down are allocation-free.
+type Injector struct {
+	events []faultEvent
+	idx    int
+	depth  []int // per-relay overlapping-fault count
+
+	base     []acoustics.Point
+	vel      []acoustics.Point // walk-away velocity, zero for stationary
+	walkFrom []int64           // walk start sample, -1 = never
+	rate     float64
+}
+
+// NewInjector builds the schedule for the given relay positions. The
+// positions slice is copied; walk-aways move the injector's copy only
+// (callers read back positions via Pos).
+func NewInjector(cfg InjectorConfig, positions []acoustics.Point) *Injector {
+	cfg.fill()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	n := len(positions)
+	in := &Injector{
+		depth:    make([]int, n),
+		base:     append([]acoustics.Point(nil), positions...),
+		vel:      make([]acoustics.Point, n),
+		walkFrom: make([]int64, n),
+		rate:     cfg.SampleRate,
+	}
+	for i := range in.walkFrom {
+		in.walkFrom[i] = -1
+	}
+	if n == 0 || cfg.Duration <= 0 {
+		return in
+	}
+	addDownUp := func(relay int, at int64, down int64) {
+		in.events = append(in.events, faultEvent{at: at, relay: relay, down: true})
+		in.events = append(in.events, faultEvent{at: at + down, relay: relay, down: false})
+	}
+	// Crash churn: expected crashes = churn/min × relays × minutes,
+	// Bernoulli-rounded so fractional expectations still fire sometimes.
+	minutes := float64(cfg.Duration) / cfg.SampleRate / 60
+	expect := cfg.ChurnPerMin * float64(n) * minutes
+	crashes := int(expect)
+	if rng.Float64() < expect-float64(crashes) {
+		crashes++
+	}
+	for i := 0; i < crashes; i++ {
+		relay := rng.Intn(n)
+		at := rng.Int63n(cfg.Duration)
+		down := int64(cfg.MinDownSamples + rng.Intn(cfg.MaxDownSamples-cfg.MinDownSamples+1))
+		addDownUp(relay, at, down)
+	}
+	// Flappers: alternate down/up for the rest of the run.
+	flappers := cfg.FlapperAt
+	for i := 0; len(flappers) < cfg.Flappers && i < n; i++ {
+		flappers = append(flappers, rng.Intn(n))
+	}
+	for _, relay := range flappers {
+		if relay < 0 || relay >= n {
+			continue
+		}
+		start := rng.Int63n(cfg.Duration/2 + 1)
+		p := int64(cfg.FlapPeriodSamples)
+		for at := start; at < cfg.Duration; at += 2 * p {
+			addDownUp(relay, at, p)
+		}
+	}
+	// Zone outages: everything within radius of a random relay's position
+	// goes down together.
+	for i := 0; i < cfg.ZoneOutages; i++ {
+		center := in.base[rng.Intn(n)]
+		at := rng.Int63n(cfg.Duration)
+		for r, p := range in.base {
+			if center.Dist(p) <= cfg.ZoneRadius {
+				addDownUp(r, at, int64(cfg.ZoneDownSamples))
+			}
+		}
+	}
+	// Walk-aways: random direction in the XY plane.
+	for i := 0; i < cfg.WalkAways && i < n; i++ {
+		relay := rng.Intn(n)
+		theta := rng.Float64() * 2 * math.Pi
+		in.vel[relay] = acoustics.Point{
+			X: cfg.WalkSpeed * math.Cos(theta),
+			Y: cfg.WalkSpeed * math.Sin(theta),
+		}
+		in.walkFrom[relay] = rng.Int63n(cfg.Duration/2 + 1)
+	}
+	sort.Slice(in.events, func(a, b int) bool { return in.events[a].at < in.events[b].at })
+	return in
+}
+
+// Advance applies every event scheduled at or before sample t.
+func (in *Injector) Advance(t int64) {
+	for in.idx < len(in.events) && in.events[in.idx].at <= t {
+		e := in.events[in.idx]
+		if e.down {
+			in.depth[e.relay]++
+		} else {
+			in.depth[e.relay]--
+		}
+		in.idx++
+	}
+}
+
+// Down reports whether a relay's link is currently dark.
+func (in *Injector) Down(relay int) bool { return in.depth[relay] > 0 }
+
+// Pos returns a relay's position at sample t (walk-aways drift).
+func (in *Injector) Pos(relay int, t int64) acoustics.Point {
+	p := in.base[relay]
+	if from := in.walkFrom[relay]; from >= 0 && t > from {
+		dt := float64(t-from) / in.rate
+		p.X += in.vel[relay].X * dt
+		p.Y += in.vel[relay].Y * dt
+	}
+	return p
+}
+
+// Walking reports whether a relay has a walk-away fault.
+func (in *Injector) Walking(relay int) bool { return in.walkFrom[relay] >= 0 }
+
+// Events returns the number of scheduled link transitions.
+func (in *Injector) Events() int { return len(in.events) }

@@ -1,0 +1,46 @@
+package mesh
+
+// Source adapts a Supervisor to graph.SampleSource: the mesh sits in the
+// pipeline exactly where a single relay's jitter buffer would, emitting
+// the selected (possibly crossfading) reference stream with its
+// concealment mask. The three callbacks give the caller the simulation
+// loop without the mesh knowing anything about rooms, links, or faults:
+//
+//	Tick(t)     — advance fault injectors, churn membership, move relays
+//	Local(t)    — the error-mic sample at sample t
+//	Feed(s, t)  — live slot s's forwarded sample and received flag
+//
+// Pull is allocation-free after the first call.
+type Source struct {
+	Sup   *Supervisor
+	Tick  func(t int64)
+	Local func(t int64) float64
+	Feed  func(slot int, t int64) (float64, bool)
+
+	fwd  []float64
+	real []bool
+}
+
+// Pull produces one block of reference samples with concealment mask.
+func (s *Source) Pull(dst []float64, mask []bool, start int64) int {
+	if s.fwd == nil {
+		s.fwd = make([]float64, s.Sup.cfg.Capacity)
+		s.real = make([]bool, s.Sup.cfg.Capacity)
+	}
+	for i := range dst {
+		t := start + int64(i)
+		if s.Tick != nil {
+			s.Tick(t)
+		}
+		for _, slot := range s.Sup.mem.liveIDs {
+			s.fwd[slot], s.real[slot] = s.Feed(int(slot), t)
+		}
+		out, ok, err := s.Sup.Push(s.Local(t), s.fwd, s.real)
+		if err != nil {
+			return i
+		}
+		dst[i] = out
+		mask[i] = ok
+	}
+	return len(dst)
+}

@@ -1,0 +1,67 @@
+package relaysel
+
+import (
+	"testing"
+
+	"mute/internal/audio"
+)
+
+// TestPHATBandLimitedSource pins the whitening floor: with a band-limited
+// source (machine noise low-passed well below Nyquist), most spectrum bins
+// hold only window leakage, and pure PHAT's unit weighting of those bins
+// used to produce garbage lags — typically a spurious zero-lag peak
+// outscoring the true delay — on over half of all windows. The floored
+// weighting must recover the true lag essentially always.
+func TestPHATBandLimitedSource(t *testing.T) {
+	const (
+		fs     = 8000.0
+		cutoff = 1200.0
+		window = 1024
+		maxLag = 240
+	)
+	src, err := audio.NewBandLimitedNoise(12, fs, 0.5, cutoff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean := audio.Render(src, 1<<16)
+	// Fractional delays, as produced by a source at an arbitrary distance:
+	// the true lag (101.0 samples) is the difference of the two.
+	delayed := func(tt int, d float64) float64 {
+		ft := float64(tt) - d
+		if ft <= 0 {
+			return 0
+		}
+		i := int(ft)
+		frac := ft - float64(i)
+		if i+1 >= len(clean) {
+			return clean[len(clean)-1]
+		}
+		return clean[i]*(1-frac) + clean[i+1]*frac
+	}
+	c, err := NewCorrelator(window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fwd := make([]float64, window)
+	loc := make([]float64, window)
+	var dst Correlation
+	const trials = 100
+	bad := 0
+	for k := 0; k < trials; k++ {
+		start := 2000 + k*512
+		for i := 0; i < window; i++ {
+			fwd[i] = delayed(start+i, 15.5)
+			loc[i] = delayed(start+i, 116.5)
+		}
+		if err := c.Correlate(&dst, fwd, loc, maxLag); err != nil {
+			t.Fatal(err)
+		}
+		if dst.LagSamples < 99 || dst.LagSamples > 103 {
+			bad++
+			t.Logf("window %d: lag=%d peak=%.3f, want ~101", k, dst.LagSamples, dst.Peak)
+		}
+	}
+	if bad > 2 {
+		t.Fatalf("%d/%d windows measured a junk lag on a band-limited source", bad, trials)
+	}
+}

@@ -27,6 +27,11 @@ type Correlation struct {
 	Values []float64
 }
 
+// phatFloorRel sets the PHAT whitening floor as a fraction of the
+// strongest cross-power bin. Bins below it carry no usable phase — for a
+// band-limited source that is every bin above the band edge.
+const phatFloorRel = 1e-3
+
 // Correlator computes GCC-PHAT correlations for a fixed window length with
 // preallocated transform plans and scratch: a periodic tracker reuses one
 // Correlator across rounds, so the steady-state correlation path performs
@@ -86,16 +91,29 @@ func (c *Correlator) Correlate(dst *Correlation, forwarded, local []float64, max
 		c.seg[i] = 0
 	}
 	c.plan.Forward(c.spcL, c.seg)
-	// Cross-power spectrum with PHAT weighting: keep phase only. The
+	// Cross-power spectrum with PHAT weighting: keep phase only. Pure
+	// PHAT gives every bin unit weight, which is catastrophic for
+	// band-limited sources — bins above the band edge hold only window
+	// leakage whose phase is garbage (and, both windows being cut from
+	// the same room, garbage that correlates at lag zero). A spectral
+	// floor relative to the strongest bin soft-gates them: bins well
+	// inside the band keep ~unit weight, empty bins are weighted by
+	// their (tiny) true magnitude instead of inflated to 1. The
 	// conjugate-symmetric remainder is implied by the half-spectrum form.
+	maxMag := 0.0
 	for k, f := range c.spcF {
 		x := c.spcL[k] * cmplx.Conj(f)
-		mag := cmplx.Abs(x)
-		if mag > 1e-12 {
-			c.spcL[k] = x / complex(mag, 0)
-		} else {
-			c.spcL[k] = 0
+		c.spcL[k] = x
+		if mag := cmplx.Abs(x); mag > maxMag {
+			maxMag = mag
 		}
+	}
+	floor := phatFloorRel * maxMag
+	if floor < 1e-300 {
+		floor = 1e-300
+	}
+	for k, x := range c.spcL {
+		c.spcL[k] = x / complex(cmplx.Abs(x)+floor, 0)
 	}
 	c.plan.Inverse(c.corr, c.spcL)
 	// corr[lag] for lag >= 0 at index lag; negative lags wrap to m-|lag|.

@@ -17,10 +17,16 @@ type Tracker struct {
 	minPeak    float64
 	hysteresis int // consecutive rounds a new winner must persist
 
-	relays   int
+	relays int
+	// Doubled-ring histories: each buffer holds 2*window samples with the
+	// same sample mirrored at pos and pos+window, so the current window is
+	// always the contiguous slice buf[pos : pos+window] — a Push is two
+	// stores instead of the O(window) memmove the per-sample shift paid.
 	bufLocal []float64
 	bufFwd   [][]float64
+	pos      int
 	fill     int
+	fwdViews [][]float64 // per-round window views into bufFwd
 
 	current    int // associated relay, -1 = none
 	pendingID  int
@@ -92,15 +98,16 @@ func NewTracker(cfg TrackerConfig) (*Tracker, error) {
 		minPeak:    cfg.MinPeak,
 		hysteresis: cfg.Hysteresis,
 		relays:     cfg.Relays,
-		bufLocal:   make([]float64, cfg.WindowSamples),
+		bufLocal:   make([]float64, 2*cfg.WindowSamples),
 		current:    -1,
 		pendingID:  -1,
 		corr:       corr,
 	}
 	t.bufFwd = make([][]float64, cfg.Relays)
 	for i := range t.bufFwd {
-		t.bufFwd[i] = make([]float64, cfg.WindowSamples)
+		t.bufFwd[i] = make([]float64, 2*cfg.WindowSamples)
 	}
+	t.fwdViews = make([][]float64, cfg.Relays)
 	return t, nil
 }
 
@@ -111,17 +118,28 @@ func (t *Tracker) Push(local float64, forwarded []float64) (bool, error) {
 	if len(forwarded) != t.relays {
 		return false, fmt.Errorf("relaysel: got %d forwarded samples, want %d", len(forwarded), t.relays)
 	}
-	copy(t.bufLocal, t.bufLocal[1:])
-	t.bufLocal[t.window-1] = local
+	t.bufLocal[t.pos] = local
+	t.bufLocal[t.pos+t.window] = local
 	for i, v := range forwarded {
-		copy(t.bufFwd[i], t.bufFwd[i][1:])
-		t.bufFwd[i][t.window-1] = v
+		b := t.bufFwd[i]
+		b[t.pos] = v
+		b[t.pos+t.window] = v
+	}
+	t.pos++
+	if t.pos == t.window {
+		t.pos = 0
 	}
 	t.fill++
 	if t.fill < t.window || t.fill%t.interval != 0 {
 		return false, nil
 	}
-	if err := t.corr.SelectInto(&t.sel, &t.corrOut, t.bufFwd, t.bufLocal, t.maxLag, t.minLead, t.minPeak); err != nil {
+	// buf[pos : pos+window] is oldest→newest, exactly the window the
+	// shifting implementation maintained in place.
+	localView := t.bufLocal[t.pos : t.pos+t.window]
+	for i := range t.bufFwd {
+		t.fwdViews[i] = t.bufFwd[i][t.pos : t.pos+t.window]
+	}
+	if err := t.corr.SelectInto(&t.sel, &t.corrOut, t.fwdViews, localView, t.maxLag, t.minLead, t.minPeak); err != nil {
 		return false, err
 	}
 	t.rounds++
@@ -132,6 +150,10 @@ func (t *Tracker) Push(local float64, forwarded []float64) (bool, error) {
 // consider applies hysteresis to a round's winner.
 func (t *Tracker) consider(winner int) {
 	if winner == t.current {
+		// Clear the pending candidacy entirely: leaving a stale pendingID
+		// behind would let a later glitch toward the old pending relay
+		// resume a candidacy it should have to restart from scratch.
+		t.pendingID = -1
 		t.pendingRun = 0
 		return
 	}

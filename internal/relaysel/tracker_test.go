@@ -134,3 +134,141 @@ func TestTrackerNoAssociationWhenAllLag(t *testing.T) {
 		t.Errorf("all-lagging relays should yield no association, got %d", tr.Current())
 	}
 }
+
+// shiftTracker is the pre-ring reference implementation of the tracker's
+// window maintenance: O(window) copy shifts per sample. The doubled-ring
+// rewrite must select identically on identical input.
+type shiftTracker struct {
+	window   int
+	bufLocal []float64
+	bufFwd   [][]float64
+}
+
+func newShiftTracker(relays, window int) *shiftTracker {
+	s := &shiftTracker{window: window, bufLocal: make([]float64, window)}
+	s.bufFwd = make([][]float64, relays)
+	for i := range s.bufFwd {
+		s.bufFwd[i] = make([]float64, window)
+	}
+	return s
+}
+
+func (s *shiftTracker) push(local float64, forwarded []float64) {
+	copy(s.bufLocal, s.bufLocal[1:])
+	s.bufLocal[s.window-1] = local
+	for i, v := range forwarded {
+		copy(s.bufFwd[i], s.bufFwd[i][1:])
+		s.bufFwd[i][s.window-1] = v
+	}
+}
+
+// TestTrackerRingEquivalence pins the doubled-ring history rewrite to the
+// shifting implementation: the windows handed to selection are identical
+// at every round boundary, for fills well past several wraps.
+func TestTrackerRingEquivalence(t *testing.T) {
+	const relays, window, interval = 3, 256, 64
+	cfg := TrackerConfig{
+		Relays: relays, WindowSamples: window, IntervalSamples: interval,
+		MaxLagSamples: 32,
+	}
+	tr, err := NewTracker(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := newShiftTracker(relays, window)
+	src := audio.NewWhiteNoise(11, 8000, 0.7)
+	base := audio.Render(src, 5*window+3*relays*window)
+	fwd := make([]float64, relays)
+	for i := 0; i < 5*window; i++ {
+		local := base[i]
+		for r := 0; r < relays; r++ {
+			fwd[r] = base[i+(r+1)*window]
+		}
+		ref.push(local, fwd)
+		if _, err := tr.Push(local, fwd); err != nil {
+			t.Fatal(err)
+		}
+		if tr.fill < window || tr.fill%interval != 0 {
+			continue
+		}
+		localView := tr.bufLocal[tr.pos : tr.pos+window]
+		for j := 0; j < window; j++ {
+			if localView[j] != ref.bufLocal[j] {
+				t.Fatalf("sample %d: local window[%d] = %g, shift reference %g", i, j, localView[j], ref.bufLocal[j])
+			}
+			for r := 0; r < relays; r++ {
+				if got := tr.bufFwd[r][tr.pos+j]; got != ref.bufFwd[r][j] {
+					t.Fatalf("sample %d: relay %d window[%d] = %g, shift reference %g", i, r, j, got, ref.bufFwd[r][j])
+				}
+			}
+		}
+	}
+}
+
+// TestTrackerPushAllocFree pins the steady-state per-sample Push — ring
+// writes plus the periodic selection round — at zero allocations.
+func TestTrackerPushAllocFree(t *testing.T) {
+	cfg := defaultTrackerCfg(4)
+	tr, err := NewTracker(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := audio.NewWhiteNoise(13, 8000, 0.7)
+	base := audio.Render(src, 8*1024)
+	fwd := make([]float64, 4)
+	// Warm up past the first selection round so Selection.Reports is grown.
+	for i := 0; i < 2*1024; i++ {
+		for r := range fwd {
+			fwd[r] = base[(i+97*r)%len(base)]
+		}
+		if _, err := tr.Push(base[i], fwd); err != nil {
+			t.Fatal(err)
+		}
+	}
+	i := 0
+	if allocs := testing.AllocsPerRun(int(cfg.IntervalSamples)*2, func() {
+		for r := range fwd {
+			fwd[r] = base[(i+97*r)%len(base)]
+		}
+		if _, err := tr.Push(base[i%len(base)], fwd); err != nil {
+			t.Fatal(err)
+		}
+		i++
+	}); allocs != 0 {
+		t.Errorf("Push allocated %.2f times per sample, want 0", allocs)
+	}
+}
+
+// TestTrackerStalePendingCleared is the regression test for the pending-
+// state reset: once a round's winner returns to the current association,
+// the pending candidacy must be wiped entirely (pendingID = -1), so a
+// later glitch toward the old pending relay starts a fresh candidacy and
+// must survive the full hysteresis count before a switch.
+func TestTrackerStalePendingCleared(t *testing.T) {
+	cfg := defaultTrackerCfg(3)
+	cfg.Hysteresis = 2
+	tr, err := NewTracker(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.current = 0
+	tr.consider(1) // challenger appears
+	if tr.pendingID != 1 || tr.pendingRun != 1 {
+		t.Fatalf("pending = (%d, %d), want (1, 1)", tr.pendingID, tr.pendingRun)
+	}
+	tr.consider(0) // winner returns to current
+	if tr.pendingID != -1 || tr.pendingRun != 0 {
+		t.Fatalf("after return to current: pending = (%d, %d), want (-1, 0)", tr.pendingID, tr.pendingRun)
+	}
+	tr.consider(1) // single-round glitch toward the old pending relay
+	if tr.current != 0 {
+		t.Fatalf("single glitch switched the association to %d", tr.current)
+	}
+	if tr.pendingRun != 1 {
+		t.Fatalf("glitch candidacy run = %d, want a fresh 1", tr.pendingRun)
+	}
+	tr.consider(1) // full hysteresis satisfied now
+	if tr.current != 1 {
+		t.Fatalf("sustained winner should switch, current = %d", tr.current)
+	}
+}

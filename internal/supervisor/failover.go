@@ -23,6 +23,13 @@ type FailoverConfig struct {
 	// HoldSamples is the minimum dwell on a relay after a switch
 	// (default 2048).
 	HoldSamples int
+	// WarmupSamples is the make-before-break gate: a relay other than the
+	// active one is only switchable-to after delivering this many
+	// consecutive real (unconcealed) samples, so the canceller never
+	// starts consuming a stream whose recent window still holds
+	// concealment zeros (default 64 — sized to cover the non-causal
+	// gradient window of the cancellers this failover feeds).
+	WarmupSamples int
 }
 
 func (c *FailoverConfig) fill() error {
@@ -41,6 +48,9 @@ func (c *FailoverConfig) fill() error {
 	if c.HoldSamples <= 0 {
 		c.HoldSamples = 2048
 	}
+	if c.WarmupSamples <= 0 {
+		c.WarmupSamples = 64
+	}
 	return nil
 }
 
@@ -53,13 +63,14 @@ func (c *FailoverConfig) fill() error {
 // to the healthiest alternative and returns once the preferred relay's
 // link recovers by a clear margin.
 type Failover struct {
-	cfg     FailoverConfig
-	tracker *relaysel.Tracker
-	ewma    []float64
-	active  int
-	held    int
-	t       int64
-	moves   int
+	cfg      FailoverConfig
+	tracker  *relaysel.Tracker
+	ewma     []float64
+	cleanRun []int // consecutive real samples per relay (warm-up gate)
+	active   int
+	held     int
+	t        int64
+	moves    int
 }
 
 // NewFailover wraps a tracker (which may be nil when acoustic re-selection
@@ -69,10 +80,11 @@ func NewFailover(cfg FailoverConfig, tracker *relaysel.Tracker) (*Failover, erro
 		return nil, err
 	}
 	return &Failover{
-		cfg:     cfg,
-		tracker: tracker,
-		ewma:    make([]float64, cfg.Relays),
-		held:    cfg.HoldSamples, // free to switch immediately at start
+		cfg:      cfg,
+		tracker:  tracker,
+		ewma:     make([]float64, cfg.Relays),
+		cleanRun: make([]int, cfg.Relays),
+		held:     cfg.HoldSamples, // free to switch immediately at start
 	}, nil
 }
 
@@ -89,6 +101,9 @@ func (f *Failover) Step(local float64, forwarded []float64, real []bool) (int, e
 		x := 1.0
 		if r {
 			x = 0
+			f.cleanRun[i]++
+		} else {
+			f.cleanRun[i] = 0
 		}
 		f.ewma[i] += f.cfg.EWMAAlpha * (x - f.ewma[i])
 	}
@@ -114,16 +129,24 @@ func (f *Failover) Step(local float64, forwarded []float64, real []bool) (int, e
 	}
 	// The acoustic preference wins whenever its link is healthy — with
 	// hysteresis at half the threshold so a link hovering at the boundary
-	// does not pull the association back and forth.
-	if preferred != f.active && f.ewma[preferred] < f.cfg.UnhealthyThreshold/2 {
+	// does not pull the association back and forth — and warm: a stream
+	// whose recent window still holds concealment zeros is never adopted,
+	// however healthy its smoothed ratio looks.
+	if preferred != f.active && f.ewma[preferred] < f.cfg.UnhealthyThreshold/2 && f.warm(preferred) {
 		f.switchTo(preferred)
 		return f.active, nil
 	}
 	// Otherwise move only when the active link has gone unhealthy and a
-	// clearly healthier alternative exists.
+	// clearly healthier — and warm — alternative exists. During a total
+	// outage (every stream concealed) nothing is warm and the failover
+	// holds position rather than thrash between equally dead relays; the
+	// first relay to deliver WarmupSamples consecutive real samples wins.
 	if f.ewma[f.active] >= f.cfg.UnhealthyThreshold {
 		best := f.active
 		for i, e := range f.ewma {
+			if i != f.active && !f.warm(i) {
+				continue
+			}
 			if e < f.ewma[best] {
 				best = i
 			}
@@ -133,6 +156,13 @@ func (f *Failover) Step(local float64, forwarded []float64, real []bool) (int, e
 		}
 	}
 	return f.active, nil
+}
+
+// warm reports whether a relay's stream has delivered enough consecutive
+// real samples that switching to it cannot feed the canceller concealed
+// reference.
+func (f *Failover) warm(relay int) bool {
+	return f.cleanRun[relay] >= f.cfg.WarmupSamples
 }
 
 func (f *Failover) switchTo(relay int) {

@@ -37,6 +37,9 @@ const (
 	// the canceller: estimated skew ppm, applied resampler rate, and the
 	// occupancy (residual alignment) error steering it.
 	StageDrift = "drift"
+	// StageMesh tags the relay-mesh supervisor: membership churn,
+	// hysteretic and emergency handoffs, and orphaned windows.
+	StageMesh = "mesh"
 )
 
 // Event is one trace record: a pipeline stage observed at a sample-clock
